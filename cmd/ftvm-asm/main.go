@@ -1,0 +1,77 @@
+// Command ftvm-asm converts between FTVM program representations: compile
+// minilang to a binary image, assemble text assembly, disassemble either.
+//
+// Usage:
+//
+//	ftvm-asm -o prog.ftb prog.ml        # compile minilang to binary
+//	ftvm-asm -o prog.ftb prog.fta       # assemble text assembly to binary
+//	ftvm-asm -d prog.ftb                # disassemble a binary image
+//	ftvm-asm -d prog.ml                 # show the code minilang compiles to
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/minilang"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftvm-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("o", "", "output binary image path")
+		disasm = flag.Bool("d", false, "disassemble to stdout")
+		verify = flag.Bool("verify", false, "verify only (no output)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: ftvm-asm [-o out.ftb | -d | -verify] <prog.(ml|fta|ftb)>")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prog *bytecode.Program
+	switch {
+	case strings.HasSuffix(path, ".ml"):
+		prog, err = minilang.Compile(path, string(data))
+	case strings.HasSuffix(path, ".ftb"):
+		prog, err = bytecode.DecodeBytes(data)
+	default:
+		prog, err = bytecode.AssembleString(string(data))
+	}
+	if err != nil {
+		return err
+	}
+	if *verify {
+		fmt.Fprintf(os.Stderr, "%s: ok (%d methods, %d classes, %d instructions)\n",
+			path, len(prog.Methods), len(prog.Classes), prog.InstrCount())
+		return nil
+	}
+	if *disasm {
+		fmt.Print(bytecode.Disassemble(prog))
+		return nil
+	}
+	if *out == "" {
+		return fmt.Errorf("need -o, -d or -verify")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bytecode.Encode(f, prog); err != nil {
+		return err
+	}
+	return f.Close()
+}

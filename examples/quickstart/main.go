@@ -1,0 +1,72 @@
+// Quickstart: compile a minilang program, run it standalone, then run it
+// under primary-backup replication with an injected primary failure — the
+// backup recovers from the log and finishes the program with exactly-once
+// output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ftvm "repro"
+)
+
+const src = `
+class Counter { n int; }
+var c Counter;
+
+func worker(rounds int) {
+	for (var i int = 0; i < rounds; i = i + 1) {
+		lock (c) { c.n = c.n + 1; }
+	}
+}
+
+func main() {
+	c = new Counter;
+	print("spawning workers");
+	var a thread = spawn worker(4000);
+	var b thread = spawn worker(4000);
+	join(a);
+	join(b);
+	print("count = " + itoa(c.n));
+	print("clock parity = " + itoa(clock() % 2));
+}
+`
+
+func main() {
+	prog, err := ftvm.CompileSource("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Standalone run.
+	res, err := ftvm.Run(prog, ftvm.Options{EnvSeed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("— standalone —")
+	for _, line := range res.Console {
+		fmt.Println(" ", line)
+	}
+	fmt.Printf("  (%d instructions, %d lock acquisitions)\n\n",
+		res.Stats.Instructions, res.Stats.LocksAcquired)
+
+	// 2. Replicated with a failure: the primary is killed once the backup
+	// has logged 1000 records; the cold backup re-executes the program
+	// gated by the log and finishes as the new primary.
+	res2, err := ftvm.RunWithFailover(prog, ftvm.ModeLock, ftvm.KillAfterRecords(1000), ftvm.Options{EnvSeed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("— replicated, primary killed mid-run, backup recovered —")
+	for _, line := range res2.Console {
+		fmt.Println(" ", line)
+	}
+	if res2.Recovery != nil {
+		fmt.Printf("  (recovery replayed %d logged records, %d gated wakeups, %d native results fed)\n",
+			res2.Recovery.RecordsInLog, res2.Recovery.GatedWakeups, res2.Recovery.FedResults)
+	}
+	fmt.Println("\nNote the output lines appear exactly once despite the failover,")
+	fmt.Println("and the count is identical — the backup adopted the primary's")
+	fmt.Println("logged lock order and native results (clock included).")
+}

@@ -1,0 +1,441 @@
+// Package ftvm is the public API of the fault-tolerant virtual machine — a
+// Go reproduction of "A Fault-Tolerant Java Virtual Machine" (Napper,
+// Alvisi, Vin; DSN 2003).
+//
+// It exposes the pieces a user composes:
+//
+//   - programs: compile minilang source (CompileSource), assemble FTVM text
+//     assembly (Assemble), or load/store binary images;
+//   - standalone execution: Run;
+//   - replicated execution: RunReplicated runs a primary/backup pair to
+//     completion; RunWithFailover kills the primary mid-run and has the cold
+//     backup recover from the log and finish the program.
+//
+// Three replica-coordination modes are available: the paper's two
+// techniques — ModeLock (replicated lock acquisition, §4.2) and ModeSched
+// (replicated thread scheduling, §4.2) — plus ModeLockInterval, the
+// logical-interval compression its §6 projects. Backups are cold by default
+// (the paper's design); RunWarmReplicated runs a semi-active warm backup
+// that executes concurrently with the primary.
+package ftvm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/env"
+	"repro/internal/minilang"
+	"repro/internal/native"
+	"repro/internal/replication"
+	"repro/internal/sehandler"
+	"repro/internal/transport"
+	"repro/internal/vm"
+)
+
+// Program is a verified FTVM program.
+type Program = bytecode.Program
+
+// Stats are the VM execution counters.
+type Stats = vm.Stats
+
+// Mode selects the multi-threading replica-coordination technique.
+type Mode = replication.Mode
+
+// Replication modes.
+const (
+	// ModeLock replicates the sequence of monitor acquisitions.
+	ModeLock = replication.ModeLock
+	// ModeSched replicates thread scheduling decisions.
+	ModeSched = replication.ModeSched
+	// ModeLockInterval is lock replication with DejaVu-style logical
+	// interval compression (the paper's §6 optimization, implemented).
+	ModeLockInterval = replication.ModeLockInterval
+)
+
+// CompileSource compiles minilang source into a program.
+func CompileSource(name, src string) (*Program, error) {
+	return minilang.Compile(name, src)
+}
+
+// Assemble parses FTVM text assembly into a program.
+func Assemble(src string) (*Program, error) {
+	return bytecode.AssembleString(src)
+}
+
+// Disassemble renders a program as text assembly.
+func Disassemble(p *Program) string { return bytecode.Disassemble(p) }
+
+// EncodeProgram writes the binary image of p.
+func EncodeProgram(w io.Writer, p *Program) error { return bytecode.Encode(w, p) }
+
+// DecodeProgram reads a binary program image.
+func DecodeProgram(r io.Reader) (*Program, error) { return bytecode.Decode(r) }
+
+// Options tune an execution.
+type Options struct {
+	// EnvSeed derives the environment's clock jitter and entropy (default 1).
+	EnvSeed int64
+	// PolicySeed seeds the (primary's) scheduling policy (default 1).
+	PolicySeed int64
+	// MinQuantum/MaxQuantum bound the scheduling quantum in branch counts
+	// (defaults 1024/8192).
+	MinQuantum, MaxQuantum uint64
+	// FlushEvery batches this many log records per frame (default 512).
+	FlushEvery int
+	// GCThreshold triggers automatic GC at this live-object count
+	// (default 1<<20, negative disables).
+	GCThreshold int
+	// MaxInstructions aborts runaway programs (0 = unlimited).
+	MaxInstructions uint64
+	// Env supplies a pre-built environment (files, channel messages); a
+	// fresh one is created from EnvSeed when nil.
+	Env *env.Env
+	// Heartbeat enables primary→backup heartbeats at this period (0 = rely
+	// on transport closure for failure detection).
+	Heartbeat time.Duration
+	// PipeCapacity sizes the in-process log channel (default 1024 frames).
+	PipeCapacity int
+	// NetPerMsg/NetPerKB add a calibrated cost to every transport message,
+	// simulating the paper's testbed network (two machines on 100 Mbps
+	// Ethernet) on a single host. Zero means a raw in-process pipe.
+	NetPerMsg time.Duration
+	NetPerKB  time.Duration
+}
+
+func (o *Options) fill() {
+	if o.EnvSeed == 0 {
+		o.EnvSeed = 1
+	}
+	if o.PolicySeed == 0 {
+		o.PolicySeed = 1
+	}
+	if o.MinQuantum == 0 {
+		o.MinQuantum = 1024
+	}
+	if o.MaxQuantum < o.MinQuantum {
+		o.MaxQuantum = o.MinQuantum * 8
+	}
+	if o.PipeCapacity == 0 {
+		o.PipeCapacity = 1024
+	}
+}
+
+// newPipe builds the primary/backup endpoints, wrapping the primary side
+// with the simulated network cost when configured.
+func (o *Options) newPipe() (transport.Endpoint, transport.Endpoint) {
+	pEnd, bEnd := transport.Pipe(o.PipeCapacity)
+	if o.NetPerMsg > 0 || o.NetPerKB > 0 {
+		return transport.WithLatency(pEnd, o.NetPerMsg, o.NetPerKB),
+			transport.WithLatency(bEnd, o.NetPerMsg, o.NetPerKB)
+	}
+	return pEnd, bEnd
+}
+
+func (o *Options) environment() *env.Env {
+	if o.Env != nil {
+		return o.Env
+	}
+	o.Env = env.New(o.EnvSeed)
+	return o.Env
+}
+
+// Result describes a standalone run.
+type Result struct {
+	Stats   Stats
+	Console []string
+	Elapsed time.Duration
+	Env     *env.Env
+}
+
+// Run executes a program standalone (no replication).
+func Run(prog *Program, opts Options) (*Result, error) {
+	opts.fill()
+	environ := opts.environment()
+	machine, err := vm.New(vm.Config{
+		Program:         prog,
+		Env:             environ,
+		Coordinator:     vm.NewDefaultCoordinator(vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum)),
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	runErr := machine.Run()
+	elapsed := time.Since(t0)
+	res := &Result{
+		Stats:   machine.Stats(),
+		Console: environ.Console().Lines(),
+		Elapsed: elapsed,
+		Env:     environ,
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	return res, nil
+}
+
+// ReplicatedResult describes a replicated run.
+type ReplicatedResult struct {
+	Stats           Stats // primary VM counters (up to the kill, if any)
+	Console         []string
+	Elapsed         time.Duration // primary wall time
+	Env             *env.Env
+	Primary         replication.PrimaryMetrics
+	Backup          replication.BackupStats
+	Outcome         replication.ServeOutcome
+	Killed          bool
+	Recovery        *replication.RecoveryReport
+	RecoveryElapsed time.Duration
+}
+
+// KillTrigger decides when to kill the primary in RunWithFailover: it is
+// polled with the number of records the backup has logged so far and returns
+// true to pull the plug. Use KillAfterRecords for the common case.
+type KillTrigger func(recordsLogged int) bool
+
+// KillAfterRecords kills the primary once the backup has logged n records.
+func KillAfterRecords(n int) KillTrigger {
+	return func(logged int) bool { return logged >= n }
+}
+
+// RunReplicated executes prog under primary-backup replication to clean
+// completion (no failure injected).
+func RunReplicated(prog *Program, mode Mode, opts Options) (*ReplicatedResult, error) {
+	return runReplicated(prog, mode, opts, nil)
+}
+
+// RunWithFailover executes prog replicated, kills the primary when the
+// trigger fires, and recovers at the backup. The returned result's Console
+// and Recovery reflect the completed recovered execution.
+func RunWithFailover(prog *Program, mode Mode, trigger KillTrigger, opts Options) (*ReplicatedResult, error) {
+	if trigger == nil {
+		return nil, errors.New("ftvm: nil kill trigger")
+	}
+	return runReplicated(prog, mode, opts, trigger)
+}
+
+func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) (*ReplicatedResult, error) {
+	opts.fill()
+	environ := opts.environment()
+	pEnd, bEnd := opts.newPipe()
+
+	primary, err := replication.NewPrimary(replication.PrimaryConfig{
+		Mode:           mode,
+		Endpoint:       pEnd,
+		Policy:         vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
+		FlushEvery:     opts.FlushEvery,
+		HeartbeatEvery: opts.Heartbeat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	machine, err := vm.New(vm.Config{
+		Program:         prog,
+		Env:             environ,
+		Coordinator:     primary,
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+		TrackProgress:   mode == ModeSched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	backup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd})
+	if err != nil {
+		return nil, err
+	}
+
+	serveDone := make(chan struct{})
+	var outcome replication.ServeOutcome
+	var serveErr error
+	go func() {
+		defer close(serveDone)
+		outcome, serveErr = backup.Serve()
+	}()
+
+	killDone := make(chan struct{})
+	if trigger != nil {
+		go func() {
+			defer close(killDone)
+			for {
+				select {
+				case <-serveDone:
+					return
+				default:
+				}
+				if trigger(backup.Store().Len()) {
+					machine.Kill()
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	} else {
+		close(killDone)
+	}
+
+	t0 := time.Now()
+	runErr := machine.Run()
+	elapsed := time.Since(t0)
+	<-serveDone
+	<-killDone
+
+	res := &ReplicatedResult{
+		Stats:   machine.Stats(),
+		Console: environ.Console().Lines(),
+		Elapsed: elapsed,
+		Env:     environ,
+		Primary: primary.Metrics(),
+		Backup:  backup.Stats(),
+		Outcome: outcome,
+		Killed:  machine.Killed(),
+	}
+	if serveErr != nil {
+		return res, fmt.Errorf("backup serve: %w", serveErr)
+	}
+	if runErr != nil && !machine.Killed() {
+		return res, fmt.Errorf("primary run: %w", runErr)
+	}
+
+	if trigger == nil {
+		if outcome != replication.OutcomePrimaryCompleted {
+			return res, fmt.Errorf("unexpected backup outcome %v", outcome)
+		}
+		return res, nil
+	}
+
+	// The primary may have completed before the trigger fired.
+	if !machine.Killed() {
+		return res, nil
+	}
+	if outcome != replication.OutcomePrimaryFailed {
+		return res, fmt.Errorf("primary killed but backup observed %v", outcome)
+	}
+	r0 := time.Now()
+	_, report, err := backup.Recover(replication.RecoverConfig{
+		Program:         prog,
+		Env:             environ,
+		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+	})
+	res.RecoveryElapsed = time.Since(r0)
+	res.Recovery = report
+	res.Console = environ.Console().Lines()
+	if err != nil {
+		return res, fmt.Errorf("recovery: %w", err)
+	}
+	return res, nil
+}
+
+// ReplayResult describes a backup replay measurement (the "backup" columns
+// of Figure 2: the time for the backup to replay events from the log).
+type ReplayResult struct {
+	Elapsed time.Duration
+	Report  *replication.RecoveryReport
+}
+
+// MeasureReplay runs prog replicated to completion while capturing the full
+// log, then replays the entire execution at a fresh backup against a fresh
+// copy of the environment. It returns the primary-side result and the replay
+// measurement. envFactory must produce identically-seeded environments.
+func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *env.Env) (*ReplicatedResult, *ReplayResult, error) {
+	if envFactory == nil {
+		return nil, nil, errors.New("ftvm: nil environment factory")
+	}
+	opts.fill()
+	opts.Env = envFactory()
+	pEnd, bEnd := opts.newPipe()
+	primary, err := replication.NewPrimary(replication.PrimaryConfig{
+		Mode:       mode,
+		Endpoint:   pEnd,
+		Policy:     vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
+		FlushEvery: opts.FlushEvery,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	machine, err := vm.New(vm.Config{
+		Program:         prog,
+		Env:             opts.Env,
+		Coordinator:     primary,
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+		TrackProgress:   mode == ModeSched,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	backup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd})
+	if err != nil {
+		return nil, nil, err
+	}
+	serveDone := make(chan struct{})
+	var outcome replication.ServeOutcome
+	var serveErr error
+	go func() {
+		defer close(serveDone)
+		outcome, serveErr = backup.Serve()
+	}()
+	t0 := time.Now()
+	runErr := machine.Run()
+	elapsed := time.Since(t0)
+	<-serveDone
+	res := &ReplicatedResult{
+		Stats:   machine.Stats(),
+		Console: opts.Env.Console().Lines(),
+		Elapsed: elapsed,
+		Env:     opts.Env,
+		Primary: primary.Metrics(),
+		Backup:  backup.Stats(),
+		Outcome: outcome,
+	}
+	if runErr != nil {
+		return res, nil, fmt.Errorf("primary run: %w", runErr)
+	}
+	if serveErr != nil {
+		return res, nil, fmt.Errorf("backup serve: %w", serveErr)
+	}
+
+	// Replay the full log at a fresh backup over a fresh environment. The
+	// clean-halt marker is stripped so the replayer treats the log as a
+	// crash at the very end (the paper's backup replay measurement).
+	replayBackup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: nopEndpoint{}})
+	if err != nil {
+		return res, nil, err
+	}
+	if err := replayBackup.LoadRecords(backup.Store().Records()); err != nil {
+		return res, nil, err
+	}
+	r0 := time.Now()
+	_, report, err := replayBackup.Recover(replication.RecoverConfig{
+		Program:         prog,
+		Env:             envFactory(),
+		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+	})
+	replay := &ReplayResult{Elapsed: time.Since(r0), Report: report}
+	if err != nil {
+		return res, replay, fmt.Errorf("replay: %w", err)
+	}
+	return res, replay, nil
+}
+
+// Natives returns the standard native registry (for inspection/extension).
+func Natives() *native.Registry { return native.StdLib() }
+
+// Handlers returns the default side-effect handler set.
+func Handlers() *sehandler.Set { return sehandler.DefaultSet() }
+
+// nopEndpoint satisfies transport.Endpoint for an offline replay backup.
+type nopEndpoint struct{}
+
+func (nopEndpoint) Send([]byte) error                  { return nil }
+func (nopEndpoint) Recv(time.Duration) ([]byte, error) { return nil, transport.ErrClosed }
+func (nopEndpoint) Close() error                       { return nil }

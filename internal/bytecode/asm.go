@@ -1,0 +1,414 @@
+package bytecode
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrAsm is wrapped by all assembler failures.
+var ErrAsm = errors.New("assembly failed")
+
+// Assemble parses the FTVM text assembly format and returns a verified
+// Program. The format (one directive or instruction per line, ';' comments):
+//
+//	program <name>
+//	class <Name> <field>...
+//	finalizer <Class> <method>
+//	static <Class.field>
+//	native <name> <signature> <nargs> (void|value)
+//	entry <method>
+//	method <name> <nargs> (void|value)
+//	  <label>:
+//	  <mnemonic> [operand]
+//	end
+//
+// Operands: integers/floats/quoted strings for constant pushes; label names
+// for jumps; method names for call/spawn (spawn takes "<method> <nargs>");
+// Class names for new; Class.field for getf/putf/gets/puts; int|float|ref
+// for newarr; slot numbers for load/store.
+func Assemble(r io.Reader) (*Program, error) {
+	p := &parser{sc: bufio.NewScanner(r)}
+	p.sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	prog, err := p.run()
+	if err != nil {
+		return nil, fmt.Errorf("%w: line %d: %v", ErrAsm, p.line, err)
+	}
+	return prog, nil
+}
+
+// AssembleString assembles src.
+func AssembleString(src string) (*Program, error) {
+	return Assemble(strings.NewReader(src))
+}
+
+type pendingCall struct {
+	method string // method name for call/spawn fixups
+	pc     int
+	mIdx   int // index of method being assembled
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+
+	prog      *Program
+	cur       *Method
+	labels    map[string]int32
+	patches   []patch
+	callFixes []pendingCall
+	finFixes  [][2]string // class, method
+	entryName string
+}
+
+func (p *parser) next() (fields []string, ok bool) {
+	for p.sc.Scan() {
+		p.line++
+		text := p.sc.Text()
+		if i := strings.IndexByte(text, ';'); i >= 0 {
+			text = text[:i]
+		}
+		f := tokenize(text)
+		if len(f) == 0 {
+			continue
+		}
+		return f, true
+	}
+	return nil, false
+}
+
+// tokenize splits on whitespace but keeps quoted strings (with \n \t \" \\
+// escapes) as single tokens including the quotes.
+func tokenize(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '"' {
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				j++ // include closing quote
+			}
+			out = append(out, s[i:j])
+			i = j
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		out = append(out, s[i:j])
+		i = j
+	}
+	return out
+}
+
+func (p *parser) run() (*Program, error) {
+	p.prog = &Program{Name: "anonymous", Entry: -1}
+	for {
+		f, ok := p.next()
+		if !ok {
+			break
+		}
+		switch f[0] {
+		case "program":
+			if len(f) != 2 {
+				return nil, errors.New("program: want 1 operand")
+			}
+			p.prog.Name = f[1]
+		case "class":
+			if len(f) < 2 {
+				return nil, errors.New("class: want a name")
+			}
+			c := Class{Name: f[1], Finalizer: -1}
+			for _, fl := range f[2:] {
+				c.Fields = append(c.Fields, Field{Name: fl})
+			}
+			p.prog.Classes = append(p.prog.Classes, c)
+		case "finalizer":
+			if len(f) != 3 {
+				return nil, errors.New("finalizer: want class and method")
+			}
+			p.finFixes = append(p.finFixes, [2]string{f[1], f[2]})
+		case "static":
+			if len(f) != 2 {
+				return nil, errors.New("static: want a name")
+			}
+			p.prog.Statics = append(p.prog.Statics, f[1])
+		case "native":
+			if len(f) != 5 {
+				return nil, errors.New("native: want name, signature, nargs, void|value")
+			}
+			nargs, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fmt.Errorf("native %s: bad nargs: %v", f[1], err)
+			}
+			ret, err := parseRet(f[4])
+			if err != nil {
+				return nil, err
+			}
+			p.prog.Methods = append(p.prog.Methods, &Method{
+				Name: f[1], NativeSig: f[2], NArgs: nargs, NLocals: nargs,
+				Returns: ret, Native: true,
+			})
+		case "entry":
+			if len(f) != 2 {
+				return nil, errors.New("entry: want a method name")
+			}
+			p.entryName = f[1]
+		case "method":
+			if err := p.parseMethod(f); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unexpected directive %q", f[0])
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := Verify(p.prog); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+func parseRet(s string) (bool, error) {
+	switch s {
+	case "void":
+		return false, nil
+	case "value":
+		return true, nil
+	default:
+		return false, fmt.Errorf("want void|value, got %q", s)
+	}
+}
+
+func (p *parser) parseMethod(f []string) error {
+	if len(f) != 4 {
+		return errors.New("method: want name, nargs, void|value")
+	}
+	nargs, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("method %s: bad nargs: %v", f[1], err)
+	}
+	ret, err := parseRet(f[3])
+	if err != nil {
+		return err
+	}
+	m := &Method{Name: f[1], NArgs: nargs, NLocals: nargs, Returns: ret}
+	p.cur = m
+	p.labels = make(map[string]int32)
+	p.patches = nil
+	maxSlot := int32(nargs) - 1
+	mIdx := len(p.prog.Methods)
+	p.prog.Methods = append(p.prog.Methods, m)
+
+	for {
+		f, ok := p.next()
+		if !ok {
+			return fmt.Errorf("method %s: missing end", m.Name)
+		}
+		if f[0] == "end" {
+			break
+		}
+		if strings.HasSuffix(f[0], ":") && len(f) == 1 {
+			name := strings.TrimSuffix(f[0], ":")
+			if _, dup := p.labels[name]; dup {
+				return fmt.Errorf("method %s: duplicate label %q", m.Name, name)
+			}
+			p.labels[name] = int32(len(m.Code))
+			continue
+		}
+		op, ok := OpcodeByName(f[0])
+		if !ok {
+			return fmt.Errorf("method %s: unknown mnemonic %q", m.Name, f[0])
+		}
+		in := Instr{Op: op}
+		info := opTable[op]
+		switch info.operand {
+		case "":
+			if len(f) != 1 {
+				return fmt.Errorf("%s takes no operand", f[0])
+			}
+		case "imm":
+			if len(f) != 2 {
+				return fmt.Errorf("%s: want 1 operand", f[0])
+			}
+			v, err := strconv.ParseInt(f[1], 0, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad immediate %q", f[0], f[1])
+			}
+			if op == OpIConst && (v < -1<<30 || v >= 1<<30) {
+				in.Op = OpLConst
+				in.A = p.prog.InternInt(v)
+			} else {
+				in.A = int32(v)
+				if op == OpLoad || op == OpStore {
+					if in.A > maxSlot {
+						maxSlot = in.A
+					}
+				}
+			}
+		case "int":
+			v, err := strconv.ParseInt(f[1], 0, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad int %q", f[0], f[1])
+			}
+			in.A = p.prog.InternInt(v)
+		case "float":
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad float %q", f[0], f[1])
+			}
+			in.A = p.prog.InternFloat(v)
+		case "str":
+			if len(f) != 2 || len(f[1]) < 2 || f[1][0] != '"' {
+				return fmt.Errorf("%s: want a quoted string", f[0])
+			}
+			s, err := strconv.Unquote(f[1])
+			if err != nil {
+				return fmt.Errorf("%s: bad string %s: %v", f[0], f[1], err)
+			}
+			in.A = p.prog.InternString(s)
+		case "label":
+			if len(f) != 2 {
+				return fmt.Errorf("%s: want a label", f[0])
+			}
+			p.patches = append(p.patches, patch{pc: len(m.Code), label: f[1]})
+			in.A = -1
+		case "method":
+			if op == OpSpawn {
+				if len(f) != 3 {
+					return errors.New("spawn: want method and nargs")
+				}
+				n, err := strconv.Atoi(f[2])
+				if err != nil {
+					return fmt.Errorf("spawn: bad nargs %q", f[2])
+				}
+				in.B = int32(n)
+			} else if len(f) != 2 {
+				return fmt.Errorf("%s: want a method name", f[0])
+			}
+			p.callFixes = append(p.callFixes, pendingCall{method: f[1], pc: len(m.Code), mIdx: mIdx})
+		case "class":
+			if len(f) != 2 {
+				return fmt.Errorf("%s: want a class name", f[0])
+			}
+			idx := int32(-1)
+			for i := range p.prog.Classes {
+				if p.prog.Classes[i].Name == f[1] {
+					idx = int32(i)
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("%s: unknown class %q", f[0], f[1])
+			}
+			in.A = idx
+		case "field":
+			cls, fld, ok := strings.Cut(f[1], ".")
+			if !ok {
+				return fmt.Errorf("%s: want Class.field, got %q", f[0], f[1])
+			}
+			found := false
+			for i := range p.prog.Classes {
+				if p.prog.Classes[i].Name == cls {
+					fi := p.prog.Classes[i].FieldIndex(fld)
+					if fi < 0 {
+						return fmt.Errorf("%s: class %s has no field %s", f[0], cls, fld)
+					}
+					in.A = int32(fi)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: unknown class %q", f[0], cls)
+			}
+		case "static":
+			idx := int32(-1)
+			for i, s := range p.prog.Statics {
+				if s == f[1] {
+					idx = int32(i)
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("%s: unknown static %q", f[0], f[1])
+			}
+			in.A = idx
+		case "elemkind":
+			switch f[1] {
+			case "int":
+				in.A = ElemInt
+			case "float":
+				in.A = ElemFloat
+			case "ref":
+				in.A = ElemRef
+			default:
+				return fmt.Errorf("newarr: want int|float|ref, got %q", f[1])
+			}
+		}
+		m.Code = append(m.Code, in)
+	}
+	for _, pt := range p.patches {
+		target, ok := p.labels[pt.label]
+		if !ok {
+			return fmt.Errorf("method %s: undefined label %q", m.Name, pt.label)
+		}
+		m.Code[pt.pc].A = target
+	}
+	if int(maxSlot)+1 > m.NLocals {
+		m.NLocals = int(maxSlot) + 1
+	}
+	return nil
+}
+
+func (p *parser) resolve() error {
+	for _, fix := range p.callFixes {
+		idx, err := p.prog.MethodIndex(fix.method)
+		if err != nil {
+			return err
+		}
+		p.prog.Methods[fix.mIdx].Code[fix.pc].A = idx
+	}
+	for _, ff := range p.finFixes {
+		ci, err := p.prog.ClassIndex(ff[0])
+		if err != nil {
+			return err
+		}
+		mi, err := p.prog.MethodIndex(ff[1])
+		if err != nil {
+			return err
+		}
+		p.prog.Classes[ci].Finalizer = mi
+	}
+	if p.entryName != "" {
+		idx, err := p.prog.MethodIndex(p.entryName)
+		if err != nil {
+			return err
+		}
+		p.prog.Entry = idx
+	} else if idx, err := p.prog.MethodIndex("main"); err == nil {
+		p.prog.Entry = idx
+	}
+	return nil
+}

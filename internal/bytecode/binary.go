@@ -1,0 +1,352 @@
+package bytecode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary classfile-analog format: magic, version, then pools, classes,
+// statics, methods, entry. All integers little-endian; strings and slices
+// are uvarint-length-prefixed.
+const (
+	binMagic   = 0x4654564d // "FTVM"
+	binVersion = 1
+)
+
+// ErrBadImage is wrapped by all binary-decoding failures.
+var ErrBadImage = errors.New("bad program image")
+
+type binWriter struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (bw *binWriter) u32(v uint32) {
+	if bw.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, bw.err = bw.w.Write(b[:])
+}
+
+func (bw *binWriter) uvarint(v uint64) {
+	if bw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(bw.buf[:], v)
+	_, bw.err = bw.w.Write(bw.buf[:n])
+}
+
+func (bw *binWriter) varint(v int64) {
+	if bw.err != nil {
+		return
+	}
+	n := binary.PutVarint(bw.buf[:], v)
+	_, bw.err = bw.w.Write(bw.buf[:n])
+}
+
+func (bw *binWriter) str(s string) {
+	bw.uvarint(uint64(len(s)))
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = io.WriteString(bw.w, s)
+}
+
+func (bw *binWriter) f64(f float64) { bw.uvarint(math.Float64bits(f)) }
+
+func (bw *binWriter) boolean(b bool) {
+	if b {
+		bw.uvarint(1)
+	} else {
+		bw.uvarint(0)
+	}
+}
+
+// Encode serialises p to w in the FTVM binary image format.
+func Encode(w io.Writer, p *Program) error {
+	bw := &binWriter{w: w}
+	bw.u32(binMagic)
+	bw.uvarint(binVersion)
+	bw.str(p.Name)
+
+	bw.uvarint(uint64(len(p.IntPool)))
+	for _, v := range p.IntPool {
+		bw.varint(v)
+	}
+	bw.uvarint(uint64(len(p.FloatPool)))
+	for _, v := range p.FloatPool {
+		bw.f64(v)
+	}
+	bw.uvarint(uint64(len(p.StrPool)))
+	for _, v := range p.StrPool {
+		bw.str(v)
+	}
+
+	bw.uvarint(uint64(len(p.Classes)))
+	for ci := range p.Classes {
+		c := &p.Classes[ci]
+		bw.str(c.Name)
+		bw.uvarint(uint64(len(c.Fields)))
+		for _, f := range c.Fields {
+			bw.str(f.Name)
+		}
+		bw.varint(int64(c.Finalizer))
+	}
+
+	bw.uvarint(uint64(len(p.Statics)))
+	for _, s := range p.Statics {
+		bw.str(s)
+	}
+
+	bw.uvarint(uint64(len(p.Methods)))
+	for _, m := range p.Methods {
+		bw.str(m.Name)
+		bw.uvarint(uint64(m.NArgs))
+		bw.uvarint(uint64(m.NLocals))
+		bw.boolean(m.Returns)
+		bw.boolean(m.Native)
+		bw.str(m.NativeSig)
+		bw.uvarint(uint64(len(m.Code)))
+		for _, in := range m.Code {
+			bw.uvarint(uint64(in.Op))
+			bw.varint(int64(in.A))
+			bw.varint(int64(in.B))
+		}
+	}
+	bw.varint(int64(p.Entry))
+	return bw.err
+}
+
+// EncodeBytes serialises p into a byte slice.
+func EncodeBytes(p *Program) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type binReader struct {
+	r *byteSource
+}
+
+// byteSource is a minimal ByteReader over an io.Reader.
+type byteSource struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *byteSource) ReadByte() (byte, error) {
+	_, err := io.ReadFull(b.r, b.buf[:])
+	return b.buf[0], err
+}
+
+func (b *byteSource) Read(p []byte) (int, error) { return io.ReadFull(b.r, p) }
+
+const maxPoolLen = 1 << 24 // sanity bound for decoded lengths
+
+func (br *binReader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return v, nil
+}
+
+func (br *binReader) length() (int, error) {
+	v, err := br.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxPoolLen {
+		return 0, fmt.Errorf("%w: implausible length %d", ErrBadImage, v)
+	}
+	return int(v), nil
+}
+
+func (br *binReader) varint() (int64, error) {
+	v, err := binary.ReadVarint(br.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return v, nil
+}
+
+func (br *binReader) str() (string, error) {
+	n, err := br.length()
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := br.r.Read(b); err != nil {
+		return "", fmt.Errorf("%w: short string: %v", ErrBadImage, err)
+	}
+	return string(b), nil
+}
+
+func (br *binReader) boolean() (bool, error) {
+	v, err := br.uvarint()
+	return v != 0, err
+}
+
+// Decode reads a binary program image and verifies it.
+func Decode(r io.Reader) (*Program, error) {
+	br := &binReader{r: &byteSource{r: r}}
+	var magic [4]byte
+	if _, err := br.r.Read(magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if binary.LittleEndian.Uint32(magic[:]) != binMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	ver, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadImage, ver)
+	}
+	p := &Program{}
+	if p.Name, err = br.str(); err != nil {
+		return nil, err
+	}
+
+	n, err := br.length()
+	if err != nil {
+		return nil, err
+	}
+	p.IntPool = make([]int64, n)
+	for i := range p.IntPool {
+		if p.IntPool[i], err = br.varint(); err != nil {
+			return nil, err
+		}
+	}
+	if n, err = br.length(); err != nil {
+		return nil, err
+	}
+	p.FloatPool = make([]float64, n)
+	for i := range p.FloatPool {
+		bits, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		p.FloatPool[i] = math.Float64frombits(bits)
+	}
+	if n, err = br.length(); err != nil {
+		return nil, err
+	}
+	p.StrPool = make([]string, n)
+	for i := range p.StrPool {
+		if p.StrPool[i], err = br.str(); err != nil {
+			return nil, err
+		}
+	}
+
+	if n, err = br.length(); err != nil {
+		return nil, err
+	}
+	p.Classes = make([]Class, n)
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		if c.Name, err = br.str(); err != nil {
+			return nil, err
+		}
+		nf, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		c.Fields = make([]Field, nf)
+		for j := range c.Fields {
+			if c.Fields[j].Name, err = br.str(); err != nil {
+				return nil, err
+			}
+		}
+		fin, err := br.varint()
+		if err != nil {
+			return nil, err
+		}
+		c.Finalizer = int32(fin)
+	}
+
+	if n, err = br.length(); err != nil {
+		return nil, err
+	}
+	p.Statics = make([]string, n)
+	for i := range p.Statics {
+		if p.Statics[i], err = br.str(); err != nil {
+			return nil, err
+		}
+	}
+
+	if n, err = br.length(); err != nil {
+		return nil, err
+	}
+	p.Methods = make([]*Method, n)
+	for i := range p.Methods {
+		m := &Method{}
+		if m.Name, err = br.str(); err != nil {
+			return nil, err
+		}
+		na, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		m.NArgs = na
+		nl, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		m.NLocals = nl
+		if m.Returns, err = br.boolean(); err != nil {
+			return nil, err
+		}
+		if m.Native, err = br.boolean(); err != nil {
+			return nil, err
+		}
+		if m.NativeSig, err = br.str(); err != nil {
+			return nil, err
+		}
+		nc, err := br.length()
+		if err != nil {
+			return nil, err
+		}
+		m.Code = make([]Instr, nc)
+		for j := range m.Code {
+			opv, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			a, err := br.varint()
+			if err != nil {
+				return nil, err
+			}
+			bb, err := br.varint()
+			if err != nil {
+				return nil, err
+			}
+			m.Code[j] = Instr{Op: Opcode(opv), A: int32(a), B: int32(bb)}
+		}
+		p.Methods[i] = m
+	}
+	entry, err := br.varint()
+	if err != nil {
+		return nil, err
+	}
+	p.Entry = int32(entry)
+	if err := Verify(p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return p, nil
+}
+
+// DecodeBytes decodes a binary program image from b.
+func DecodeBytes(b []byte) (*Program, error) {
+	return Decode(bytes.NewReader(b))
+}

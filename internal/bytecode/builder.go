@@ -1,0 +1,210 @@
+package bytecode
+
+import (
+	"fmt"
+)
+
+// Builder constructs a Program incrementally. It is the backend used by the
+// minilang code generator and by tests; the text assembler also lowers onto
+// it.
+type Builder struct {
+	prog *Program
+	errs []error
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name, Entry: -1}}
+}
+
+// AddClass declares a class and returns its index.
+func (b *Builder) AddClass(name string, fields ...string) int32 {
+	c := Class{Name: name, Finalizer: -1}
+	for _, f := range fields {
+		c.Fields = append(c.Fields, Field{Name: f})
+	}
+	b.prog.Classes = append(b.prog.Classes, c)
+	return int32(len(b.prog.Classes) - 1)
+}
+
+// SetFinalizer attaches a finalizer method (by index) to a class.
+func (b *Builder) SetFinalizer(class int32, method int32) {
+	if int(class) >= len(b.prog.Classes) {
+		b.errs = append(b.errs, fmt.Errorf("finalizer: bad class %d", class))
+		return
+	}
+	b.prog.Classes[class].Finalizer = method
+}
+
+// AddStatic declares a static slot and returns its index.
+func (b *Builder) AddStatic(name string) int32 {
+	b.prog.Statics = append(b.prog.Statics, name)
+	return int32(len(b.prog.Statics) - 1)
+}
+
+// DeclareMethod reserves a method slot (so mutually recursive methods can
+// reference each other) and returns its index. Fill it with DefineMethod.
+func (b *Builder) DeclareMethod(name string, nargs int, returns bool) int32 {
+	b.prog.Methods = append(b.prog.Methods, &Method{
+		Name:    name,
+		NArgs:   nargs,
+		NLocals: nargs,
+		Returns: returns,
+	})
+	return int32(len(b.prog.Methods) - 1)
+}
+
+// DeclareNative registers a native-method stub dispatched by signature.
+func (b *Builder) DeclareNative(name, sig string, nargs int, returns bool) int32 {
+	b.prog.Methods = append(b.prog.Methods, &Method{
+		Name:      name,
+		NArgs:     nargs,
+		NLocals:   nargs,
+		Returns:   returns,
+		Native:    true,
+		NativeSig: sig,
+	})
+	return int32(len(b.prog.Methods) - 1)
+}
+
+// Program finalises and returns the program, or the first accumulated error.
+func (b *Builder) Program() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.prog.Entry < 0 {
+		if idx, err := b.prog.MethodIndex("main"); err == nil {
+			b.prog.Entry = idx
+		} else {
+			return nil, fmt.Errorf("program %q has no entry method: %w", b.prog.Name, err)
+		}
+	}
+	if err := Verify(b.prog); err != nil {
+		return nil, fmt.Errorf("verify %q: %w", b.prog.Name, err)
+	}
+	return b.prog, nil
+}
+
+// SetEntry sets the entry method.
+func (b *Builder) SetEntry(method int32) { b.prog.Entry = method }
+
+// Raw returns the in-progress program (for interning constants).
+func (b *Builder) Raw() *Program { return b.prog }
+
+// Asm assembles code for a previously declared method slot. Labels are
+// strings; emit jumps with JmpL/JzL/JnzL and place targets with Label.
+type Asm struct {
+	b       *Builder
+	m       *Method
+	code    []Instr
+	labels  map[string]int32
+	patches []patch
+	next    int // next free local slot
+}
+
+type patch struct {
+	pc    int
+	label string
+}
+
+// Define begins assembling the body of method idx.
+func (b *Builder) Define(idx int32) *Asm {
+	m := b.prog.Methods[idx]
+	return &Asm{b: b, m: m, labels: make(map[string]int32), next: m.NArgs}
+}
+
+// Local allocates a fresh local slot.
+func (a *Asm) Local() int32 {
+	s := a.next
+	a.next++
+	return int32(s)
+}
+
+// Emit appends a raw instruction.
+func (a *Asm) Emit(op Opcode, operands ...int32) *Asm {
+	in := Instr{Op: op}
+	if len(operands) > 0 {
+		in.A = operands[0]
+	}
+	if len(operands) > 1 {
+		in.B = operands[1]
+	}
+	a.code = append(a.code, in)
+	return a
+}
+
+// Int pushes an integer constant, via immediate or pool as needed.
+func (a *Asm) Int(v int64) *Asm {
+	if v >= -1<<30 && v < 1<<30 {
+		return a.Emit(OpIConst, int32(v))
+	}
+	return a.Emit(OpLConst, a.b.prog.InternInt(v))
+}
+
+// Float pushes a float constant.
+func (a *Asm) Float(v float64) *Asm {
+	return a.Emit(OpFConst, a.b.prog.InternFloat(v))
+}
+
+// Str pushes a string constant.
+func (a *Asm) Str(s string) *Asm {
+	return a.Emit(OpSConst, a.b.prog.InternString(s))
+}
+
+// Load pushes local slot s.
+func (a *Asm) Load(s int32) *Asm { return a.Emit(OpLoad, s) }
+
+// Store pops into local slot s.
+func (a *Asm) Store(s int32) *Asm { return a.Emit(OpStore, s) }
+
+// Label places a jump target at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.b.errs = append(a.b.errs, fmt.Errorf("method %s: duplicate label %q", a.m.Name, name))
+	}
+	a.labels[name] = int32(len(a.code))
+	return a
+}
+
+// Jmp emits an unconditional jump to a label.
+func (a *Asm) Jmp(label string) *Asm { return a.jump(OpJmp, label) }
+
+// Jz emits a jump-if-zero to a label.
+func (a *Asm) Jz(label string) *Asm { return a.jump(OpJz, label) }
+
+// Jnz emits a jump-if-nonzero to a label.
+func (a *Asm) Jnz(label string) *Asm { return a.jump(OpJnz, label) }
+
+func (a *Asm) jump(op Opcode, label string) *Asm {
+	a.patches = append(a.patches, patch{pc: len(a.code), label: label})
+	return a.Emit(op, -1)
+}
+
+// Call emits a call to a method by index.
+func (a *Asm) Call(m int32) *Asm { return a.Emit(OpCall, m) }
+
+// CallNamed emits a call to a method by name (resolved at Done).
+func (a *Asm) CallNamed(name string) *Asm {
+	idx, err := a.b.prog.MethodIndex(name)
+	if err != nil {
+		a.b.errs = append(a.b.errs, fmt.Errorf("method %s: %w", a.m.Name, err))
+		idx = 0
+	}
+	return a.Emit(OpCall, idx)
+}
+
+// Done resolves labels and installs the code into the method.
+func (a *Asm) Done() {
+	for _, p := range a.patches {
+		target, ok := a.labels[p.label]
+		if !ok {
+			a.b.errs = append(a.b.errs, fmt.Errorf("method %s: undefined label %q", a.m.Name, p.label))
+			continue
+		}
+		a.code[p.pc].A = target
+	}
+	a.m.Code = a.code
+	if a.next > a.m.NLocals {
+		a.m.NLocals = a.next
+	}
+}

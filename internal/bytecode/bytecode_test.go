@@ -1,0 +1,234 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+program sample
+class Pair a b
+static Main.total
+native print io.print 1 void
+method add 2 value
+  load 0
+  load 1
+  iadd
+  retv
+end
+method main 0 void
+  iconst 2
+  iconst 3
+  call add
+  puts Main.total
+  gets Main.total
+  i2s
+  call print
+  ret
+end
+`
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := AssembleString(sampleProgram)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if p.Name != "sample" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Classes) != 1 || p.Classes[0].Name != "Pair" || len(p.Classes[0].Fields) != 2 {
+		t.Errorf("classes = %+v", p.Classes)
+	}
+	if len(p.Methods) != 3 {
+		t.Fatalf("methods = %d, want 3", len(p.Methods))
+	}
+	if idx, err := p.MethodIndex("main"); err != nil || p.Entry != idx {
+		t.Errorf("entry = %d (%v)", p.Entry, err)
+	}
+	add := p.Methods[1]
+	if add.Name != "add" || add.NArgs != 2 || !add.Returns {
+		t.Errorf("add = %+v", add)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown op", "method main 0 void\n  frobnicate\n  ret\nend", "unknown mnemonic"},
+		{"no end", "method main 0 void\n  ret", "missing end"},
+		{"bad label", "method main 0 void\n  jmp nowhere\n  ret\nend", "undefined label"},
+		{"dup label", "method main 0 void\nx:\nx:\n  ret\nend", "duplicate label"},
+		{"no main", "method other 0 void\n  ret\nend", "entry"},
+		{"bad class", "method main 0 void\n  new Missing\n  pop\n  ret\nend", "unknown class"},
+		{"bad static", "method main 0 void\n  gets No.pe\n  pop\n  ret\nend", "unknown static"},
+		{"underflow", "method main 0 void\n  iadd\n  ret\nend", "underflow"},
+		{"fallthrough", "method main 0 void\n  iconst 1\n  pop\nend", "fall off"},
+		{"retv in void", "method main 0 void\n  iconst 1\n  retv\nend", "retv in void"},
+		{"ret in value", "method f 0 value\n  ret\nend\nmethod main 0 void\n  ret\nend", "ret in value"},
+		{"inconsistent depth", "method main 0 void\nloop:\n  iconst 1\n  jmp loop\nend", "inconsistent stack depth"},
+		{"spawn arity", "method w 1 void\n  ret\nend\nmethod main 0 void\n  spawn w 2\n  pop\n  ret\nend", "arity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := AssembleString(tc.src)
+			if err == nil {
+				t.Fatalf("assembled, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p1, err := AssembleString(sampleProgram)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	text := Disassemble(p1)
+	p2, err := AssembleString(text)
+	if err != nil {
+		t.Fatalf("reassemble disassembly: %v\n%s", err, text)
+	}
+	if len(p2.Methods) != len(p1.Methods) || p2.InstrCount() != p1.InstrCount() {
+		t.Fatalf("round trip changed shape: %d/%d methods, %d/%d instrs",
+			len(p1.Methods), len(p2.Methods), p1.InstrCount(), p2.InstrCount())
+	}
+	for i := range p1.Methods {
+		m1, m2 := p1.Methods[i], p2.Methods[i]
+		for pc := range m1.Code {
+			if m1.Code[pc] != m2.Code[pc] {
+				t.Fatalf("method %s pc %d: %v vs %v", m1.Name, pc, m1.Code[pc], m2.Code[pc])
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	p1, err := AssembleString(sampleProgram)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	img, err := EncodeBytes(p1)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	p2, err := DecodeBytes(img)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if p2.Name != p1.Name || len(p2.Methods) != len(p1.Methods) ||
+		len(p2.Classes) != len(p1.Classes) || p2.Entry != p1.Entry {
+		t.Fatalf("round trip mismatch: %+v vs %+v", p1, p2)
+	}
+	for i := range p1.Methods {
+		m1, m2 := p1.Methods[i], p2.Methods[i]
+		if m1.Name != m2.Name || m1.NArgs != m2.NArgs || len(m1.Code) != len(m2.Code) {
+			t.Fatalf("method %d mismatch", i)
+		}
+		for pc := range m1.Code {
+			if m1.Code[pc] != m2.Code[pc] {
+				t.Fatalf("method %s pc %d mismatch", m1.Name, pc)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	img, err := EncodeBytes(mustProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every length must error, never panic.
+	for n := 0; n < len(img); n += 7 {
+		if _, err := DecodeBytes(img[:n]); err == nil {
+			t.Fatalf("decoded truncation at %d", n)
+		}
+	}
+	// Flipped bytes must never panic (errors are fine, and verification
+	// catches structural corruption).
+	for i := 0; i < len(img); i += 3 {
+		mut := make([]byte, len(img))
+		copy(mut, img)
+		mut[i] ^= 0xff
+		_, _ = DecodeBytes(mut)
+	}
+}
+
+func mustProg(t *testing.T) *Program {
+	t.Helper()
+	p, err := AssembleString(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderAPI(t *testing.T) {
+	b := NewBuilder("built")
+	cls := b.AddClass("Node", "next", "val")
+	st := b.AddStatic("G.x")
+	m := b.DeclareMethod("main", 0, false)
+	asm := b.Define(m)
+	tmp := asm.Local()
+	asm.Int(41).Store(tmp)
+	asm.Load(tmp).Int(1).Emit(OpIAdd).Emit(OpPutS, st)
+	asm.Emit(OpNew, cls)
+	asm.Emit(OpPop)
+	asm.Label("end").Emit(OpRet)
+	asm.Done()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if p.Methods[m].NLocals != 1 {
+		t.Errorf("NLocals = %d", p.Methods[m].NLocals)
+	}
+	if fi := p.Classes[cls].FieldIndex("val"); fi != 1 {
+		t.Errorf("field index = %d", fi)
+	}
+}
+
+func TestVerifyCatchesBadFinalizer(t *testing.T) {
+	b := NewBuilder("bad")
+	cls := b.AddClass("R")
+	fin := b.DeclareMethod("fin", 2, false) // finalizers must take 1 arg
+	b.Define(fin).Emit(OpRet).Done()
+	m := b.DeclareMethod("main", 0, false)
+	b.Define(m).Emit(OpRet).Done()
+	b.SetFinalizer(cls, fin)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("expected finalizer arity error")
+	}
+}
+
+func TestOpcodeProperties(t *testing.T) {
+	branchOps := []Opcode{OpJmp, OpJz, OpJnz, OpCall, OpRet, OpRetV, OpSpawn, OpJoin}
+	for _, op := range branchOps {
+		if !op.IsBranch() {
+			t.Errorf("%v should count toward br_cnt", op)
+		}
+	}
+	nonBranch := []Opcode{OpIAdd, OpLoad, OpMEnter, OpWait, OpNew, OpHalt, OpYield}
+	for _, op := range nonBranch {
+		if op.IsBranch() {
+			t.Errorf("%v should not count toward br_cnt", op)
+		}
+	}
+	if op, ok := OpcodeByName("menter"); !ok || op != OpMEnter {
+		t.Errorf("OpcodeByName(menter) = %v, %v", op, ok)
+	}
+}
+
+func TestVerifyRejectsValueReturningFinalizer(t *testing.T) {
+	b := NewBuilder("bad")
+	cls := b.AddClass("R")
+	fin := b.DeclareMethod("fin", 1, true) // value-returning: would corrupt
+	b.Define(fin).Int(0).Emit(OpRetV).Done()
+	m := b.DeclareMethod("main", 0, false)
+	b.Define(m).Emit(OpRet).Done()
+	b.SetFinalizer(cls, fin)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("value-returning finalizer accepted")
+	}
+}

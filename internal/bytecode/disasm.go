@@ -1,0 +1,119 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders p back into the text assembly format accepted by
+// Assemble. Round-tripping (Assemble ∘ Disassemble) yields an equivalent
+// program; jump targets are rendered as generated labels.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for ci := range p.Classes {
+		c := &p.Classes[ci]
+		sb.WriteString("class " + c.Name)
+		for _, f := range c.Fields {
+			sb.WriteString(" " + f.Name)
+		}
+		sb.WriteByte('\n')
+		if c.Finalizer >= 0 {
+			fmt.Fprintf(&sb, "finalizer %s %s\n", c.Name, p.Methods[c.Finalizer].Name)
+		}
+	}
+	for _, s := range p.Statics {
+		fmt.Fprintf(&sb, "static %s\n", s)
+	}
+	for _, m := range p.Methods {
+		if m.Native {
+			fmt.Fprintf(&sb, "native %s %s %d %s\n", m.Name, m.NativeSig, m.NArgs, retWord(m.Returns))
+		}
+	}
+	if int(p.Entry) < len(p.Methods) && p.Methods[p.Entry].Name != "main" {
+		fmt.Fprintf(&sb, "entry %s\n", p.Methods[p.Entry].Name)
+	}
+	for _, m := range p.Methods {
+		if m.Native {
+			continue
+		}
+		fmt.Fprintf(&sb, "method %s %d %s\n", m.Name, m.NArgs, retWord(m.Returns))
+		labels := collectLabels(m)
+		for pc, in := range m.Code {
+			if l, ok := labels[int32(pc)]; ok {
+				fmt.Fprintf(&sb, "%s:\n", l)
+			}
+			sb.WriteString("  ")
+			sb.WriteString(formatInstr(p, m, in, labels))
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("end\n")
+	}
+	return sb.String()
+}
+
+func retWord(returns bool) string {
+	if returns {
+		return "value"
+	}
+	return "void"
+}
+
+func collectLabels(m *Method) map[int32]string {
+	labels := make(map[int32]string)
+	for _, in := range m.Code {
+		if opTable[in.Op].operand == "label" {
+			if _, ok := labels[in.A]; !ok {
+				labels[in.A] = fmt.Sprintf("L%d", in.A)
+			}
+		}
+	}
+	return labels
+}
+
+func formatInstr(p *Program, m *Method, in Instr, labels map[int32]string) string {
+	info := opTable[in.Op]
+	switch info.operand {
+	case "":
+		return info.name
+	case "imm":
+		return fmt.Sprintf("%s %d", info.name, in.A)
+	case "int":
+		return fmt.Sprintf("%s %d", info.name, p.IntPool[in.A])
+	case "float":
+		return fmt.Sprintf("%s %s", info.name, strconv.FormatFloat(p.FloatPool[in.A], 'g', -1, 64))
+	case "str":
+		return fmt.Sprintf("%s %s", info.name, strconv.Quote(p.StrPool[in.A]))
+	case "label":
+		return fmt.Sprintf("%s %s", info.name, labels[in.A])
+	case "method":
+		if in.Op == OpSpawn {
+			return fmt.Sprintf("%s %s %d", info.name, p.Methods[in.A].Name, in.B)
+		}
+		return fmt.Sprintf("%s %s", info.name, p.Methods[in.A].Name)
+	case "class":
+		return fmt.Sprintf("%s %s", info.name, p.Classes[in.A].Name)
+	case "field":
+		// Field indices are class-relative; recover a class owning this slot
+		// when possible, otherwise emit the raw index comment-style.
+		for ci := range p.Classes {
+			if int(in.A) < len(p.Classes[ci].Fields) {
+				return fmt.Sprintf("%s %s.%s", info.name, p.Classes[ci].Name, p.Classes[ci].Fields[in.A].Name)
+			}
+		}
+		return fmt.Sprintf("%s %d", info.name, in.A)
+	case "static":
+		return fmt.Sprintf("%s %s", info.name, p.Statics[in.A])
+	case "elemkind":
+		switch in.A {
+		case ElemInt:
+			return info.name + " int"
+		case ElemFloat:
+			return info.name + " float"
+		default:
+			return info.name + " ref"
+		}
+	}
+	return info.name
+}

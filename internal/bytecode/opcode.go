@@ -1,0 +1,240 @@
+// Package bytecode defines the FTVM instruction set and program model: a
+// stack-machine ISA with monitors, thread spawning and native-method calls;
+// the Program/Class/Method containers (the classfile analog); a text
+// assembler and disassembler; a binary serialisation; and a structural
+// verifier.
+package bytecode
+
+// Opcode identifies an FTVM instruction.
+type Opcode uint8
+
+// The FTVM instruction set. Operand meanings are given per opcode; A and B
+// are int32 operands in Instr.
+const (
+	OpInvalid Opcode = iota
+
+	// Constants and stack manipulation.
+	OpNop
+	OpIConst // push A as int (small constants)
+	OpLConst // push IntPool[A]
+	OpFConst // push FloatPool[A]
+	OpSConst // push interned string StrPool[A]
+	OpNull   // push null ref
+	OpPop
+	OpDup
+	OpSwap
+
+	// Locals.
+	OpLoad  // push locals[A]
+	OpStore // locals[A] = pop
+
+	// Integer arithmetic / bitwise.
+	OpIAdd
+	OpISub
+	OpIMul
+	OpIDiv
+	OpIRem
+	OpINeg
+	OpIAnd
+	OpIOr
+	OpIXor
+	OpIShl
+	OpIShr
+
+	// Float arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Conversions.
+	OpI2F
+	OpF2I
+
+	// Comparisons: pop b, pop a, push -1/0/1.
+	OpICmp
+	OpFCmp
+	OpSCmp  // lexicographic string compare
+	OpRefEq // pop two refs, push 1 if identical else 0
+
+	// Control flow (each executed control-flow op increments br_cnt).
+	OpJmp // pc = A
+	OpJz  // pop int; if zero pc = A
+	OpJnz // pop int; if non-zero pc = A
+
+	// Calls (increment br_cnt). OpCall pops NArgs args (last arg on top).
+	OpCall // invoke Methods[A]
+	OpRet  // return no value
+	OpRetV // return top of stack
+
+	// Objects and statics.
+	OpNew  // push new instance of Classes[A]
+	OpGetF // pop ref, push field A
+	OpPutF // pop value, pop ref, set field A
+	OpGetS // push static slot A
+	OpPutS // static slot A = pop
+
+	// Arrays. OpNewArr A selects element kind: 0 int, 1 float, 2 ref.
+	OpNewArr // pop length, push array
+	OpALoad  // pop index, pop arrayref, push element
+	OpAStore // pop value, pop index, pop arrayref
+	OpALen   // pop arrayref, push length
+
+	// Strings (immutable heap objects).
+	OpSLen    // pop str, push length
+	OpSCat    // pop b, pop a, push a+b
+	OpSIdx    // pop index, pop str, push byte as int
+	OpSSub    // pop end, pop start, pop str, push substring
+	OpI2S     // pop int, push decimal string
+	OpF2S     // pop float, push formatted string
+	OpS2I     // pop str, push parsed int (0 on malformed)
+	OpChr     // pop int, push 1-byte string
+	OpHashStr // pop str, push deterministic 64-bit FNV hash as int
+
+	// Monitors and condition variables (Java's synchronized/wait/notify).
+	OpMEnter    // pop ref, acquire its monitor (reentrant)
+	OpMExit     // pop ref, release its monitor
+	OpWait      // pop ref, wait on its monitor (must hold it)
+	OpNotify    // pop ref, wake one waiter
+	OpNotifyAll // pop ref, wake all waiters
+
+	// Threads.
+	OpSpawn // pop B args, start Methods[A] in a new thread, push thread ref
+	OpJoin  // pop thread ref, block until it terminates
+	OpYield // voluntarily end the current scheduling quantum
+
+	// Thread lifecycle support (used by the VM's synthetic $finish/$joinwait
+	// methods; join/death are routed through ordinary monitors so that they
+	// are replicated exactly like application synchronization).
+	OpAlive    // pop thread ref, push 1 if the thread has not ended
+	OpMarkDead // mark the current thread logically dead
+
+	// Miscellaneous.
+	OpHalt // terminate the whole VM normally
+)
+
+// opInfo describes static properties of an opcode for the verifier,
+// assembler and disassembler.
+type opInfo struct {
+	name string
+	// pop/push are stack effects; -1 means variable (resolved specially).
+	pop, push int
+	// operand usage: "" none, "imm" integer immediate, "int"/"float"/"str"
+	// pool index, "label" jump target, "method", "class", "field", "static",
+	// "elemkind".
+	operand string
+	branch  bool // counts toward br_cnt when executed
+}
+
+var opTable = map[Opcode]opInfo{
+	OpNop:       {name: "nop"},
+	OpIConst:    {name: "iconst", push: 1, operand: "imm"},
+	OpLConst:    {name: "lconst", push: 1, operand: "int"},
+	OpFConst:    {name: "fconst", push: 1, operand: "float"},
+	OpSConst:    {name: "sconst", push: 1, operand: "str"},
+	OpNull:      {name: "null", push: 1},
+	OpPop:       {name: "pop", pop: 1},
+	OpDup:       {name: "dup", pop: 1, push: 2},
+	OpSwap:      {name: "swap", pop: 2, push: 2},
+	OpLoad:      {name: "load", push: 1, operand: "imm"},
+	OpStore:     {name: "store", pop: 1, operand: "imm"},
+	OpIAdd:      {name: "iadd", pop: 2, push: 1},
+	OpISub:      {name: "isub", pop: 2, push: 1},
+	OpIMul:      {name: "imul", pop: 2, push: 1},
+	OpIDiv:      {name: "idiv", pop: 2, push: 1},
+	OpIRem:      {name: "irem", pop: 2, push: 1},
+	OpINeg:      {name: "ineg", pop: 1, push: 1},
+	OpIAnd:      {name: "iand", pop: 2, push: 1},
+	OpIOr:       {name: "ior", pop: 2, push: 1},
+	OpIXor:      {name: "ixor", pop: 2, push: 1},
+	OpIShl:      {name: "ishl", pop: 2, push: 1},
+	OpIShr:      {name: "ishr", pop: 2, push: 1},
+	OpFAdd:      {name: "fadd", pop: 2, push: 1},
+	OpFSub:      {name: "fsub", pop: 2, push: 1},
+	OpFMul:      {name: "fmul", pop: 2, push: 1},
+	OpFDiv:      {name: "fdiv", pop: 2, push: 1},
+	OpFNeg:      {name: "fneg", pop: 1, push: 1},
+	OpI2F:       {name: "i2f", pop: 1, push: 1},
+	OpF2I:       {name: "f2i", pop: 1, push: 1},
+	OpICmp:      {name: "icmp", pop: 2, push: 1},
+	OpFCmp:      {name: "fcmp", pop: 2, push: 1},
+	OpSCmp:      {name: "scmp", pop: 2, push: 1},
+	OpRefEq:     {name: "refeq", pop: 2, push: 1},
+	OpJmp:       {name: "jmp", operand: "label", branch: true},
+	OpJz:        {name: "jz", pop: 1, operand: "label", branch: true},
+	OpJnz:       {name: "jnz", pop: 1, operand: "label", branch: true},
+	OpCall:      {name: "call", pop: -1, push: -1, operand: "method", branch: true},
+	OpRet:       {name: "ret", branch: true},
+	OpRetV:      {name: "retv", pop: 1, branch: true},
+	OpNew:       {name: "new", push: 1, operand: "class"},
+	OpGetF:      {name: "getf", pop: 1, push: 1, operand: "field"},
+	OpPutF:      {name: "putf", pop: 2, operand: "field"},
+	OpGetS:      {name: "gets", push: 1, operand: "static"},
+	OpPutS:      {name: "puts", pop: 1, operand: "static"},
+	OpNewArr:    {name: "newarr", pop: 1, push: 1, operand: "elemkind"},
+	OpALoad:     {name: "aload", pop: 2, push: 1},
+	OpAStore:    {name: "astore", pop: 3},
+	OpALen:      {name: "alen", pop: 1, push: 1},
+	OpSLen:      {name: "slen", pop: 1, push: 1},
+	OpSCat:      {name: "scat", pop: 2, push: 1},
+	OpSIdx:      {name: "sidx", pop: 2, push: 1},
+	OpSSub:      {name: "ssub", pop: 3, push: 1},
+	OpI2S:       {name: "i2s", pop: 1, push: 1},
+	OpF2S:       {name: "f2s", pop: 1, push: 1},
+	OpS2I:       {name: "s2i", pop: 1, push: 1},
+	OpChr:       {name: "chr", pop: 1, push: 1},
+	OpHashStr:   {name: "hashstr", pop: 1, push: 1},
+	OpMEnter:    {name: "menter", pop: 1},
+	OpMExit:     {name: "mexit", pop: 1},
+	OpWait:      {name: "wait", pop: 1},
+	OpNotify:    {name: "notify", pop: 1},
+	OpNotifyAll: {name: "notifyall", pop: 1},
+	OpSpawn:     {name: "spawn", pop: -1, push: 1, operand: "method", branch: true},
+	OpJoin:      {name: "join", pop: 1, branch: true},
+	OpYield:     {name: "yield"},
+	OpAlive:     {name: "alive", pop: 1, push: 1},
+	OpMarkDead:  {name: "markdead"},
+	OpHalt:      {name: "halt"},
+}
+
+var nameToOp = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opTable))
+	for op, info := range opTable {
+		m[info.name] = op
+	}
+	return m
+}()
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if info, ok := opTable[op]; ok {
+		return info.name
+	}
+	return "op?"
+}
+
+// IsBranch reports whether executing op increments the branch counter
+// (br_cnt): branches, jumps, calls and returns, as in §4.2.
+func (op Opcode) IsBranch() bool { return opTable[op].branch }
+
+// OpcodeByName returns the opcode for an assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+// Instr is a single FTVM instruction. A and B are operands whose meaning
+// depends on Op (pool index, local slot, jump target, method index, …).
+type Instr struct {
+	Op Opcode
+	A  int32
+	B  int32
+}
+
+// ArrElemKind values for OpNewArr's A operand.
+const (
+	ElemInt   = 0
+	ElemFloat = 1
+	ElemRef   = 2
+)

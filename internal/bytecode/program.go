@@ -1,0 +1,137 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field describes one instance field of a class.
+type Field struct {
+	Name string
+}
+
+// Class is a record type: named instance fields plus an optional finalizer
+// method (invoked by the VM after the instance becomes garbage).
+type Class struct {
+	Name      string
+	Fields    []Field
+	Finalizer int32 // method index, -1 if none
+}
+
+// FieldIndex returns the slot of the named field, or -1.
+func (c *Class) FieldIndex(name string) int {
+	for i, f := range c.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Method is a unit of executable code or a native-method stub.
+type Method struct {
+	Name    string
+	NArgs   int
+	NLocals int // includes the NArgs argument slots
+	Code    []Instr
+	Returns bool // produces a value
+
+	// Native marks the method as a native stub dispatched through the
+	// native-method registry by signature (the JNI analog).
+	Native    bool
+	NativeSig string
+}
+
+// Program is the FTVM classfile-set analog: a self-contained unit of classes,
+// methods, constant pools and static slots.
+type Program struct {
+	Name    string
+	Classes []Class
+	Methods []*Method
+	Statics []string // names of static slots ("Class.field")
+
+	IntPool   []int64
+	FloatPool []float64
+	StrPool   []string
+
+	Entry int32 // method index of main
+}
+
+// Errors reported by program lookups.
+var (
+	ErrNoSuchMethod = errors.New("no such method")
+	ErrNoSuchClass  = errors.New("no such class")
+	ErrNoSuchStatic = errors.New("no such static")
+)
+
+// MethodIndex returns the index of the named method.
+func (p *Program) MethodIndex(name string) (int32, error) {
+	for i, m := range p.Methods {
+		if m.Name == name {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %q", ErrNoSuchMethod, name)
+}
+
+// ClassIndex returns the index of the named class.
+func (p *Program) ClassIndex(name string) (int32, error) {
+	for i := range p.Classes {
+		if p.Classes[i].Name == name {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %q", ErrNoSuchClass, name)
+}
+
+// StaticIndex returns the slot of the named static.
+func (p *Program) StaticIndex(name string) (int32, error) {
+	for i, s := range p.Statics {
+		if s == name {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %q", ErrNoSuchStatic, name)
+}
+
+// InternInt adds v to the int pool (deduplicated) and returns its index.
+func (p *Program) InternInt(v int64) int32 {
+	for i, x := range p.IntPool {
+		if x == v {
+			return int32(i)
+		}
+	}
+	p.IntPool = append(p.IntPool, v)
+	return int32(len(p.IntPool) - 1)
+}
+
+// InternFloat adds v to the float pool (deduplicated) and returns its index.
+func (p *Program) InternFloat(v float64) int32 {
+	for i, x := range p.FloatPool {
+		if x == v {
+			return int32(i)
+		}
+	}
+	p.FloatPool = append(p.FloatPool, v)
+	return int32(len(p.FloatPool) - 1)
+}
+
+// InternString adds s to the string pool (deduplicated) and returns its index.
+func (p *Program) InternString(s string) int32 {
+	for i, x := range p.StrPool {
+		if x == s {
+			return int32(i)
+		}
+	}
+	p.StrPool = append(p.StrPool, s)
+	return int32(len(p.StrPool) - 1)
+}
+
+// InstrCount returns the total number of instructions across all methods.
+func (p *Program) InstrCount() int {
+	n := 0
+	for _, m := range p.Methods {
+		n += len(m.Code)
+	}
+	return n
+}

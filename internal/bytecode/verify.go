@@ -1,0 +1,207 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVerify is wrapped by all verification failures.
+var ErrVerify = errors.New("bytecode verification failed")
+
+// Verify performs a structural check of every method in p: operand ranges,
+// jump targets, call arities, pool indices, local-slot bounds, and that
+// every non-native method body terminates each path with ret/retv/halt or a
+// backward jump. It does not model types (the interpreter traps kind
+// mismatches at run time, which the VM reports as fatal environment errors
+// per restriction R0).
+func Verify(p *Program) error {
+	if p.Entry < 0 || int(p.Entry) >= len(p.Methods) {
+		return fmt.Errorf("%w: bad entry method %d", ErrVerify, p.Entry)
+	}
+	if p.Methods[p.Entry].Native {
+		return fmt.Errorf("%w: entry method is native", ErrVerify)
+	}
+	for ci := range p.Classes {
+		if fin := p.Classes[ci].Finalizer; fin >= 0 {
+			if int(fin) >= len(p.Methods) {
+				return fmt.Errorf("%w: class %s: bad finalizer method %d", ErrVerify, p.Classes[ci].Name, fin)
+			}
+			if p.Methods[fin].NArgs != 1 {
+				return fmt.Errorf("%w: class %s: finalizer must take 1 arg", ErrVerify, p.Classes[ci].Name)
+			}
+			// A value-returning finalizer would push its result onto the
+			// operand stack of whatever frame GC interrupted.
+			if p.Methods[fin].Returns {
+				return fmt.Errorf("%w: class %s: finalizer must not return a value", ErrVerify, p.Classes[ci].Name)
+			}
+		}
+	}
+	for mi, m := range p.Methods {
+		if err := verifyMethod(p, m); err != nil {
+			return fmt.Errorf("%w: method %d (%s): %v", ErrVerify, mi, m.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyMethod(p *Program, m *Method) error {
+	if m.Native {
+		if m.NativeSig == "" {
+			return errors.New("native method without signature")
+		}
+		if len(m.Code) != 0 {
+			return errors.New("native method with code")
+		}
+		return nil
+	}
+	if len(m.Code) == 0 {
+		return errors.New("empty body")
+	}
+	if m.NLocals < m.NArgs {
+		return fmt.Errorf("NLocals %d < NArgs %d", m.NLocals, m.NArgs)
+	}
+	n := int32(len(m.Code))
+	for pc, in := range m.Code {
+		info, ok := opTable[in.Op]
+		if !ok {
+			return fmt.Errorf("pc %d: unknown opcode %d", pc, in.Op)
+		}
+		switch info.operand {
+		case "label":
+			if in.A < 0 || in.A >= n {
+				return fmt.Errorf("pc %d (%s): jump target %d out of range [0,%d)", pc, info.name, in.A, n)
+			}
+		case "int":
+			if in.A < 0 || int(in.A) >= len(p.IntPool) {
+				return fmt.Errorf("pc %d (%s): int pool index %d", pc, info.name, in.A)
+			}
+		case "float":
+			if in.A < 0 || int(in.A) >= len(p.FloatPool) {
+				return fmt.Errorf("pc %d (%s): float pool index %d", pc, info.name, in.A)
+			}
+		case "str":
+			if in.A < 0 || int(in.A) >= len(p.StrPool) {
+				return fmt.Errorf("pc %d (%s): string pool index %d", pc, info.name, in.A)
+			}
+		case "method":
+			if in.A < 0 || int(in.A) >= len(p.Methods) {
+				return fmt.Errorf("pc %d (%s): method index %d", pc, info.name, in.A)
+			}
+			if in.Op == OpSpawn {
+				callee := p.Methods[in.A]
+				if in.B != int32(callee.NArgs) {
+					return fmt.Errorf("pc %d: spawn arity %d != method %s arity %d", pc, in.B, callee.Name, callee.NArgs)
+				}
+				if callee.Native {
+					return fmt.Errorf("pc %d: cannot spawn native method %s", pc, callee.Name)
+				}
+			}
+		case "class":
+			if in.A < 0 || int(in.A) >= len(p.Classes) {
+				return fmt.Errorf("pc %d (%s): class index %d", pc, info.name, in.A)
+			}
+		case "static":
+			if in.A < 0 || int(in.A) >= len(p.Statics) {
+				return fmt.Errorf("pc %d (%s): static index %d", pc, info.name, in.A)
+			}
+		case "elemkind":
+			if in.A != ElemInt && in.A != ElemFloat && in.A != ElemRef {
+				return fmt.Errorf("pc %d: bad array element kind %d", pc, in.A)
+			}
+		case "imm":
+			if in.Op == OpLoad || in.Op == OpStore {
+				if in.A < 0 || int(in.A) >= m.NLocals {
+					return fmt.Errorf("pc %d (%s): local slot %d of %d", pc, info.name, in.A, m.NLocals)
+				}
+			}
+		}
+		// Fallthrough off the end of the body is invalid.
+		if pc == len(m.Code)-1 {
+			switch in.Op {
+			case OpRet, OpRetV, OpHalt, OpJmp:
+			default:
+				return fmt.Errorf("pc %d: body may fall off the end (last op %s)", pc, info.name)
+			}
+		}
+	}
+	return checkStackDepths(p, m)
+}
+
+// checkStackDepths runs a fixpoint dataflow over stack depth: every pc must
+// be reached with a consistent depth, pops never underflow, and retv paths
+// carry exactly one value.
+func checkStackDepths(p *Program, m *Method) error {
+	const unseen = -1
+	depth := make([]int, len(m.Code))
+	for i := range depth {
+		depth[i] = unseen
+	}
+	type workItem struct {
+		pc, d int
+	}
+	work := []workItem{{0, 0}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, d := it.pc, it.d
+		for {
+			if pc < 0 || pc >= len(m.Code) {
+				return fmt.Errorf("flow reaches pc %d outside body", pc)
+			}
+			if depth[pc] != unseen {
+				if depth[pc] != d {
+					return fmt.Errorf("pc %d reached with inconsistent stack depth (%d vs %d)", pc, depth[pc], d)
+				}
+				break
+			}
+			depth[pc] = d
+			in := m.Code[pc]
+			pop, push := stackEffect(p, in)
+			if d < pop {
+				return fmt.Errorf("pc %d (%s): stack underflow (depth %d, pops %d)", pc, in.Op, d, pop)
+			}
+			d = d - pop + push
+			switch in.Op {
+			case OpJmp:
+				pc = int(in.A)
+				continue
+			case OpJz, OpJnz:
+				work = append(work, workItem{int(in.A), d})
+				pc++
+				continue
+			case OpRet, OpHalt:
+				if in.Op == OpRet && m.Returns {
+					return fmt.Errorf("pc %d: ret in value-returning method", pc)
+				}
+			case OpRetV:
+				if !m.Returns {
+					return fmt.Errorf("pc %d: retv in void method", pc)
+				}
+			default:
+				pc++
+				continue
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// stackEffect returns (pops, pushes) for in, resolving variable-arity ops.
+func stackEffect(p *Program, in Instr) (int, int) {
+	info := opTable[in.Op]
+	pop, push := info.pop, info.push
+	switch in.Op {
+	case OpCall:
+		callee := p.Methods[in.A]
+		pop = callee.NArgs
+		push = 0
+		if callee.Returns {
+			push = 1
+		}
+	case OpSpawn:
+		pop = int(in.B)
+		push = 1
+	}
+	return pop, push
+}

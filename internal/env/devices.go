@@ -1,0 +1,189 @@
+package env
+
+import "sync"
+
+// SeqDevice is an output device with per-writer sequence-numbered
+// exactly-once writes: a write carries the writer's identity (the virtual
+// thread id, which is stable across replicas) and that writer's output
+// sequence number, and is performed only if it has not been seen before.
+// LastSeq makes the device testable (§3.4): during recovery the backup can
+// ask whether a given output completed before the primary failed.
+//
+// Sequencing is per writer because, under replicated lock acquisition, the
+// interleaving of independent threads may legitimately differ between the
+// primary and the recovering backup; per the paper, applications for which
+// cross-thread output order matters must serialise output with a monitor.
+type SeqDevice struct {
+	mu      sync.Mutex
+	lastSeq map[string]uint64
+	lines   []string
+}
+
+// NewSeqDevice returns an empty device.
+func NewSeqDevice() *SeqDevice {
+	return &SeqDevice{lastSeq: make(map[string]uint64)}
+}
+
+// Write performs output seq from writer with payload line; duplicate and
+// stale sequence numbers are dropped. It reports whether the write was
+// performed.
+func (d *SeqDevice) Write(writer string, seq uint64, line string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seq <= d.lastSeq[writer] {
+		return false
+	}
+	d.lastSeq[writer] = seq
+	d.lines = append(d.lines, line)
+	return true
+}
+
+// LastSeq returns the highest sequence number performed by writer.
+func (d *SeqDevice) LastSeq(writer string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastSeq[writer]
+}
+
+// Lines returns a copy of everything written so far.
+func (d *SeqDevice) Lines() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.lines))
+	copy(out, d.lines)
+	return out
+}
+
+// WriteCount returns the number of performed writes.
+func (d *SeqDevice) WriteCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.lines)
+}
+
+// SeqChannel is a reliable message channel: sends are sequence-numbered per
+// writer and exactly-once (like SeqDevice); receives dequeue in order.
+// Receiving is an environment *input*, so its result is non-deterministic
+// and must be logged by the primary.
+type SeqChannel struct {
+	mu      sync.Mutex
+	lastSeq map[string]uint64
+	queue   []string
+	sent    []string
+}
+
+// NewSeqChannel returns an empty channel.
+func NewSeqChannel() *SeqChannel {
+	return &SeqChannel{lastSeq: make(map[string]uint64)}
+}
+
+// Send enqueues msg under writer's sequence number seq; duplicates are
+// dropped. It reports whether the send was performed.
+func (c *SeqChannel) Send(writer string, seq uint64, msg string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq <= c.lastSeq[writer] {
+		return false
+	}
+	c.lastSeq[writer] = seq
+	c.sent = append(c.sent, msg)
+	return true
+}
+
+// LastSeq returns the highest send sequence number performed by writer.
+func (c *SeqChannel) LastSeq(writer string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq[writer]
+}
+
+// Sent returns a copy of every message sent so far.
+func (c *SeqChannel) Sent() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.sent))
+	copy(out, c.sent)
+	return out
+}
+
+// Recv dequeues the next inbound message; ok is false if the channel is
+// empty.
+func (c *SeqChannel) Recv() (msg string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return "", false
+	}
+	msg = c.queue[0]
+	c.queue = c.queue[1:]
+	return msg, true
+}
+
+// Inject enqueues an inbound message from the outside world (tests and
+// examples simulating a remote peer).
+func (c *SeqChannel) Inject(msg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queue = append(c.queue, msg)
+}
+
+// Len returns the queued inbound message count.
+func (c *SeqChannel) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Clock is a virtual wall clock: every read advances it by a pseudo-random
+// step, so repeated reads observe strictly increasing, non-reproducible
+// values — the canonical non-deterministic input native (§3.2).
+type Clock struct {
+	mu  sync.Mutex
+	now int64
+	rng *splitMix
+}
+
+// NewClock returns a clock starting at zero whose jitter derives from seed.
+func NewClock(seed int64) *Clock {
+	return &Clock{rng: newSplitMix(uint64(seed))}
+}
+
+// Now reads the clock, advancing it 1–16 virtual milliseconds.
+func (c *Clock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += 1 + int64(c.rng.next()&0xf)
+	return c.now
+}
+
+// Entropy is a seeded random source exposed to programs through the
+// non-deterministic `rand` native.
+type Entropy struct {
+	mu  sync.Mutex
+	rng *splitMix
+}
+
+// NewEntropy returns an entropy source derived from seed.
+func NewEntropy(seed int64) *Entropy {
+	return &Entropy{rng: newSplitMix(uint64(seed))}
+}
+
+// Next returns the next random 63-bit value.
+func (e *Entropy) Next() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int64(e.rng.next() >> 1)
+}
+
+// splitMix is a SplitMix64 PRNG (stdlib-only, deterministic from seed).
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,230 @@
+package env
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileLifecycle(t *testing.T) {
+	e := New(1)
+	p := e.Attach()
+	if _, err := p.Open("missing", false); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("open missing: %v", err)
+	}
+	fd, err := p.Open("f.txt", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.Write(fd, []byte("hello world")); err != nil || n != 11 {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	if pos, _ := p.Tell(fd); pos != 11 {
+		t.Fatalf("tell = %d", pos)
+	}
+	if _, err := p.SeekTo(fd, 6, SeekAbs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Read(fd, 100)
+	if err != nil || string(b) != "world" {
+		t.Fatalf("read = %q (%v)", b, err)
+	}
+	if _, err := p.SeekTo(fd, -2, SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := p.Read(fd, 2); string(b) != "ld" {
+		t.Fatalf("seek-end read = %q", b)
+	}
+	if _, err := p.SeekTo(fd, -100, SeekRel); !errors.Is(err, ErrNegativeSeek) {
+		t.Fatalf("negative seek: %v", err)
+	}
+	if _, err := p.SeekTo(fd, 0, 9); !errors.Is(err, ErrBadWhence) {
+		t.Fatalf("bad whence: %v", err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("x")); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if sz, _ := e.FileSize("f.txt"); sz != 11 {
+		t.Fatalf("size = %d", sz)
+	}
+}
+
+func TestWriteExtendsAndOverwrites(t *testing.T) {
+	e := New(1)
+	p := e.Attach()
+	fd, _ := p.Open("f", true)
+	_, _ = p.Write(fd, []byte("aaaa"))
+	_, _ = p.SeekTo(fd, 2, SeekAbs)
+	_, _ = p.Write(fd, []byte("bbbb"))
+	data, _ := e.FileContents("f")
+	if string(data) != "aabbbb" {
+		t.Fatalf("contents = %q", data)
+	}
+}
+
+func TestVolatileDescriptorsStableContents(t *testing.T) {
+	e := New(1)
+	p1 := e.Attach()
+	fd, _ := p1.Open("persist", true)
+	_, _ = p1.Write(fd, []byte("survives"))
+	// p1 is "lost" with its VM; a new attachment sees the stable bytes but
+	// not the descriptor.
+	p2 := e.Attach()
+	if _, err := p2.Read(fd, 1); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("descriptor leaked across processes: %v", err)
+	}
+	fd2, err := p2.OpenAt("persist", 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p2.Read(fd2, 100)
+	if string(b) != "vives" {
+		t.Fatalf("read = %q", b)
+	}
+}
+
+func TestReserveFDs(t *testing.T) {
+	e := New(1)
+	p := e.Attach()
+	p.ReserveFDs(100)
+	fd, _ := p.Open("f", true)
+	if fd != 100 {
+		t.Fatalf("fd = %d, want 100", fd)
+	}
+	p.ReserveFDs(50) // never lowers
+	fd2, _ := p.Open("g", true)
+	if fd2 != 101 {
+		t.Fatalf("fd2 = %d, want 101", fd2)
+	}
+}
+
+func TestSeqDeviceExactlyOnce(t *testing.T) {
+	d := NewSeqDevice()
+	if !d.Write("0", 1, "a") {
+		t.Fatal("first write dropped")
+	}
+	if d.Write("0", 1, "a-dup") {
+		t.Fatal("duplicate performed")
+	}
+	if d.Write("0", 0, "stale") {
+		t.Fatal("stale performed")
+	}
+	if !d.Write("0.1", 1, "b") {
+		t.Fatal("other writer dropped")
+	}
+	if !d.Write("0", 2, "c") {
+		t.Fatal("next write dropped")
+	}
+	lines := d.Lines()
+	if len(lines) != 3 || lines[0] != "a" || lines[1] != "b" || lines[2] != "c" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if d.LastSeq("0") != 2 || d.LastSeq("0.1") != 1 || d.LastSeq("nope") != 0 {
+		t.Fatal("LastSeq wrong")
+	}
+}
+
+func TestSeqChannel(t *testing.T) {
+	c := NewSeqChannel()
+	c.Inject("inbound1")
+	c.Inject("inbound2")
+	if msg, ok := c.Recv(); !ok || msg != "inbound1" {
+		t.Fatalf("recv = %q %v", msg, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if !c.Send("0", 1, "out") || c.Send("0", 1, "out-dup") {
+		t.Fatal("send dedup broken")
+	}
+	if got := c.Sent(); len(got) != 1 || got[0] != "out" {
+		t.Fatalf("sent = %v", got)
+	}
+	_, _ = c.Recv()
+	if _, ok := c.Recv(); ok {
+		t.Fatal("recv on empty should fail")
+	}
+}
+
+func TestClockMonotoneNondeterministic(t *testing.T) {
+	c := NewClock(7)
+	prev := int64(0)
+	for i := 0; i < 100; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("clock not strictly increasing: %d after %d", now, prev)
+		}
+		prev = now
+	}
+	// Different seeds drift apart (the non-determinism the primary logs).
+	c1, c2 := NewClock(1), NewClock(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if c1.Now() != c2.Now() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("differently-seeded clocks should diverge")
+	}
+}
+
+func TestEntropyDeterministicPerSeed(t *testing.T) {
+	a, b := NewEntropy(5), NewEntropy(5)
+	for i := 0; i < 20; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed should replay")
+		}
+	}
+}
+
+// Property: per-writer sequence dedup never performs the same (writer, seq)
+// twice regardless of interleaving.
+func TestSeqDeviceProperty(t *testing.T) {
+	prop := func(seqs []uint8) bool {
+		d := NewSeqDevice()
+		performed := make(map[uint8]bool)
+		count := 0
+		for _, s := range seqs {
+			seq := uint64(s%16) + 1
+			did := d.Write("w", seq, "x")
+			key := uint8(seq)
+			if did {
+				if performed[key] {
+					return false // duplicate performed
+				}
+				performed[key] = true
+				count++
+			}
+		}
+		return d.WriteCount() == count
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	e := New(1)
+	e.PutFile("b", []byte("1"))
+	e.PutFile("a", []byte("2"))
+	names := e.ListFiles()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if !e.FileExists("a") {
+		t.Fatal("a should exist")
+	}
+	if err := e.DeleteFile("a"); err != nil {
+		t.Fatal(err)
+	}
+	if e.FileExists("a") {
+		t.Fatal("a should be gone")
+	}
+	if err := e.DeleteFile("a"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("double delete: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package heap implements the FTVM object heap: tagged runtime values,
+// objects, arrays, strings, reference kinds (strong/soft/weak) and a
+// mark-sweep garbage collector with a deterministic finalizer queue.
+//
+// Heap references are small integers handed out in allocation order. Because
+// allocation order depends on thread interleaving, reference values are NOT
+// stable across replicas of the same program — exactly the property that
+// forces the paper's virtual lock-id (l_id) scheme in replicated execution.
+package heap
+
+import "strconv"
+
+// Kind discriminates the runtime value variants held in stack slots, locals,
+// fields and array elements.
+type Kind uint8
+
+// Value kinds. The zero Kind is invalid so that an uninitialised Value is
+// distinguishable from a deliberate one.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindRef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindRef:
+		return "ref"
+	default:
+		return "invalid"
+	}
+}
+
+// Ref is a heap reference. The zero Ref is the null reference.
+type Ref uint32
+
+// NullRef is the null heap reference.
+const NullRef Ref = 0
+
+// Value is a tagged runtime value: an integer, a float, or a heap reference.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	R    Ref
+}
+
+// IntVal returns an integer value.
+func IntVal(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// FloatVal returns a floating-point value.
+func FloatVal(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// RefVal returns a reference value.
+func RefVal(r Ref) Value { return Value{Kind: KindRef, R: r} }
+
+// Null returns the null reference value.
+func Null() Value { return Value{Kind: KindRef, R: NullRef} }
+
+// BoolVal returns the integer encoding of b (1 or 0).
+func BoolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// IsNull reports whether v is the null reference.
+func (v Value) IsNull() bool { return v.Kind == KindRef && v.R == NullRef }
+
+// Truthy reports whether v is a non-zero integer (conditional jumps pop ints).
+func (v Value) Truthy() bool { return v.Kind == KindInt && v.I != 0 }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindRef:
+		if v.R == NullRef {
+			return "null"
+		}
+		return "@" + strconv.FormatUint(uint64(v.R), 10)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Equal reports deep equality of the tagged representation (used by tests and
+// by the backup when cross-checking logged native results).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.I == o.I
+	case KindFloat:
+		return v.F == o.F
+	case KindRef:
+		return v.R == o.R
+	default:
+		return true
+	}
+}

@@ -1,0 +1,280 @@
+package minilang
+
+// Type is a minilang type.
+type Type struct {
+	Kind  TypeKind
+	Class string // KindClass: class name
+	Elem  *Type  // KindArray: element type
+}
+
+// TypeKind enumerates minilang types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeFloat
+	TypeStr
+	TypeThread
+	TypeClass
+	TypeArray
+	TypeNull // the type of the null literal (assignable to any ref type)
+)
+
+var (
+	tVoid   = &Type{Kind: TypeVoid}
+	tInt    = &Type{Kind: TypeInt}
+	tFloat  = &Type{Kind: TypeFloat}
+	tStr    = &Type{Kind: TypeStr}
+	tThread = &Type{Kind: TypeThread}
+	tNull   = &Type{Kind: TypeNull}
+)
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeStr:
+		return "str"
+	case TypeThread:
+		return "thread"
+	case TypeClass:
+		return t.Class
+	case TypeArray:
+		return "[]" + t.Elem.String()
+	case TypeNull:
+		return "null"
+	default:
+		return "?"
+	}
+}
+
+// isRef reports whether values of t live on the heap.
+func (t *Type) isRef() bool {
+	switch t.Kind {
+	case TypeStr, TypeThread, TypeClass, TypeArray, TypeNull:
+		return true
+	default:
+		return false
+	}
+}
+
+// equal reports structural type equality.
+func (t *Type) equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypeClass:
+		return t.Class == o.Class
+	case TypeArray:
+		return t.Elem.equal(o.Elem)
+	default:
+		return true
+	}
+}
+
+// assignable reports whether a value of type src can be assigned to dst.
+func assignable(dst, src *Type) bool {
+	if src.Kind == TypeNull && dst.isRef() {
+		return true
+	}
+	return dst.equal(src)
+}
+
+// Declarations.
+
+type classDecl struct {
+	name   string
+	fields []param
+	line   int
+}
+
+type param struct {
+	name string
+	typ  *Type
+}
+
+type funcDecl struct {
+	name   string
+	params []param
+	ret    *Type
+	body   []stmt
+	line   int
+}
+
+type globalDecl struct {
+	name string
+	typ  *Type
+	init expr // may be nil
+	line int
+}
+
+type program struct {
+	classes []*classDecl
+	funcs   []*funcDecl
+	globals []*globalDecl
+}
+
+// Statements.
+
+type stmt interface{ stmtLine() int }
+
+type varStmt struct {
+	name string
+	typ  *Type // nil means infer from init
+	init expr  // may be nil when typ != nil
+	line int
+}
+
+type assignStmt struct {
+	target expr // identExpr, fieldExpr or indexExpr
+	value  expr
+	line   int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, alt []stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // may be nil
+	cond expr // may be nil
+	post stmt // may be nil
+	body []stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type lockStmt struct {
+	obj  expr
+	body []stmt
+	line int
+}
+
+type blockStmt struct {
+	body []stmt
+	line int
+}
+
+type haltStmt struct{ line int }
+type yieldStmt struct{ line int }
+
+func (s *varStmt) stmtLine() int      { return s.line }
+func (s *assignStmt) stmtLine() int   { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *lockStmt) stmtLine() int     { return s.line }
+func (s *blockStmt) stmtLine() int    { return s.line }
+func (s *haltStmt) stmtLine() int     { return s.line }
+func (s *yieldStmt) stmtLine() int    { return s.line }
+
+// Expressions.
+
+type expr interface{ exprLine() int }
+
+type intLit struct {
+	v    int64
+	line int
+}
+
+type floatLit struct {
+	v    float64
+	line int
+}
+
+type strLit struct {
+	v    string
+	line int
+}
+
+type nullLit struct{ line int }
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "!"
+	x    expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type fieldExpr struct {
+	x    expr
+	name string
+	line int
+}
+
+type indexExpr struct {
+	x, idx expr
+	line   int
+}
+
+type newExpr struct {
+	typ  *Type // class instance or array (with length)
+	size expr  // array length, nil for class
+	line int
+}
+
+type spawnExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (e *intLit) exprLine() int    { return e.line }
+func (e *floatLit) exprLine() int  { return e.line }
+func (e *strLit) exprLine() int    { return e.line }
+func (e *nullLit) exprLine() int   { return e.line }
+func (e *identExpr) exprLine() int { return e.line }
+func (e *unaryExpr) exprLine() int { return e.line }
+func (e *binExpr) exprLine() int   { return e.line }
+func (e *callExpr) exprLine() int  { return e.line }
+func (e *fieldExpr) exprLine() int { return e.line }
+func (e *indexExpr) exprLine() int { return e.line }
+func (e *newExpr) exprLine() int   { return e.line }
+func (e *spawnExpr) exprLine() int { return e.line }

@@ -1,0 +1,244 @@
+package minilang
+
+import (
+	"repro/internal/bytecode"
+)
+
+// genCall compiles a user function call or a builtin.
+func (fc *fnCompiler) genCall(ex *callExpr) (*Type, error) {
+	if gen, ok := builtins[ex.name]; ok {
+		return gen(fc, ex)
+	}
+	fn, ok := fc.c.funcs[ex.name]
+	if !ok {
+		return nil, errAt(ex.line, "unknown function %s", ex.name)
+	}
+	if len(ex.args) != len(fn.decl.params) {
+		return nil, errAt(ex.line, "%s: %d args, want %d", ex.name, len(ex.args), len(fn.decl.params))
+	}
+	for i, a := range ex.args {
+		t, err := fc.genExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(fn.decl.params[i].typ, t) {
+			return nil, errAt(ex.line, "%s: arg %d is %s, want %s", ex.name, i+1, t, fn.decl.params[i].typ)
+		}
+	}
+	fc.asm.Call(fn.idx)
+	return fn.decl.ret, nil
+}
+
+// builtinGen compiles one builtin call (arguments NOT yet emitted).
+type builtinGen func(fc *fnCompiler, ex *callExpr) (*Type, error)
+
+// genArgs emits the arguments and checks them against want (nil entries
+// accept any type); returns the actual types.
+func (fc *fnCompiler) genArgs(ex *callExpr, want []*Type) ([]*Type, error) {
+	if len(ex.args) != len(want) {
+		return nil, errAt(ex.line, "%s: %d args, want %d", ex.name, len(ex.args), len(want))
+	}
+	types := make([]*Type, len(ex.args))
+	for i, a := range ex.args {
+		t, err := fc.genExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if want[i] != nil && !assignable(want[i], t) {
+			return nil, errAt(ex.line, "%s: arg %d is %s, want %s", ex.name, i+1, t, want[i])
+		}
+		types[i] = t
+	}
+	return types, nil
+}
+
+// nativeBuiltin builds a builtin that lowers to a native-method call.
+func nativeBuiltin(sig string, params []*Type, ret *Type) builtinGen {
+	return func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+		if _, err := fc.genArgs(ex, params); err != nil {
+			return nil, err
+		}
+		idx := fc.c.nativeMethod(sig, len(params), ret.Kind != TypeVoid)
+		fc.asm.Call(idx)
+		return ret, nil
+	}
+}
+
+// opBuiltin builds a builtin that lowers to a single opcode.
+func opBuiltin(op bytecode.Opcode, params []*Type, ret *Type) builtinGen {
+	return func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+		if _, err := fc.genArgs(ex, params); err != nil {
+			return nil, err
+		}
+		fc.asm.Emit(op)
+		return ret, nil
+	}
+}
+
+// monitorBuiltin builds wait/notify/notifyall (any heap object).
+func monitorBuiltin(op bytecode.Opcode) builtinGen {
+	return func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+		types, err := fc.genArgs(ex, []*Type{nil})
+		if err != nil {
+			return nil, err
+		}
+		if !types[0].isRef() || types[0].Kind == TypeNull {
+			return nil, errAt(ex.line, "%s needs a heap object, got %s", ex.name, types[0])
+		}
+		fc.asm.Emit(op)
+		return tVoid, nil
+	}
+}
+
+// toStr emits the conversion of the value of type t (already on the stack)
+// into a string.
+func (fc *fnCompiler) toStr(t *Type, line int) error {
+	switch t.Kind {
+	case TypeStr:
+		return nil
+	case TypeInt:
+		fc.asm.Emit(bytecode.OpI2S)
+		return nil
+	case TypeFloat:
+		fc.asm.Emit(bytecode.OpF2S)
+		return nil
+	default:
+		return errAt(line, "cannot convert %s to str", t)
+	}
+}
+
+var builtins map[string]builtinGen
+
+func init() {
+	// Built in a function to allow self-reference-free construction; the
+	// table is immutable after init (deterministic, no I/O).
+	builtins = map[string]builtinGen{
+		// Console and conversions.
+		"print": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			types, err := fc.genArgs(ex, []*Type{nil})
+			if err != nil {
+				return nil, err
+			}
+			if err := fc.toStr(types[0], ex.line); err != nil {
+				return nil, err
+			}
+			idx := fc.c.nativeMethod("io.print", 1, false)
+			fc.asm.Call(idx)
+			return tVoid, nil
+		},
+		"str": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			types, err := fc.genArgs(ex, []*Type{nil})
+			if err != nil {
+				return nil, err
+			}
+			if err := fc.toStr(types[0], ex.line); err != nil {
+				return nil, err
+			}
+			return tStr, nil
+		},
+		"int": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			types, err := fc.genArgs(ex, []*Type{nil})
+			if err != nil {
+				return nil, err
+			}
+			switch types[0].Kind {
+			case TypeInt:
+			case TypeFloat:
+				fc.asm.Emit(bytecode.OpF2I)
+			case TypeStr:
+				fc.asm.Emit(bytecode.OpS2I)
+			default:
+				return nil, errAt(ex.line, "cannot convert %s to int", types[0])
+			}
+			return tInt, nil
+		},
+		"float": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			types, err := fc.genArgs(ex, []*Type{nil})
+			if err != nil {
+				return nil, err
+			}
+			switch types[0].Kind {
+			case TypeFloat:
+			case TypeInt:
+				fc.asm.Emit(bytecode.OpI2F)
+			default:
+				return nil, errAt(ex.line, "cannot convert %s to float", types[0])
+			}
+			return tFloat, nil
+		},
+		"itoa":   opBuiltin(bytecode.OpI2S, []*Type{tInt}, tStr),
+		"ftoa":   opBuiltin(bytecode.OpF2S, []*Type{tFloat}, tStr),
+		"atoi":   opBuiltin(bytecode.OpS2I, []*Type{tStr}, tInt),
+		"chr":    opBuiltin(bytecode.OpChr, []*Type{tInt}, tStr),
+		"hash":   opBuiltin(bytecode.OpHashStr, []*Type{tStr}, tInt),
+		"substr": opBuiltin(bytecode.OpSSub, []*Type{tStr, tInt, tInt}, tStr),
+		"charat": opBuiltin(bytecode.OpSIdx, []*Type{tStr, tInt}, tInt),
+		"len": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			types, err := fc.genArgs(ex, []*Type{nil})
+			if err != nil {
+				return nil, err
+			}
+			switch types[0].Kind {
+			case TypeStr:
+				fc.asm.Emit(bytecode.OpSLen)
+			case TypeArray:
+				fc.asm.Emit(bytecode.OpALen)
+			default:
+				return nil, errAt(ex.line, "len needs a string or array, got %s", types[0])
+			}
+			return tInt, nil
+		},
+
+		// Threads and monitors.
+		"join": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			if _, err := fc.genArgs(ex, []*Type{tThread}); err != nil {
+				return nil, err
+			}
+			fc.asm.Emit(bytecode.OpJoin)
+			return tVoid, nil
+		},
+		"wait":      monitorBuiltin(bytecode.OpWait),
+		"notify":    monitorBuiltin(bytecode.OpNotify),
+		"notifyall": monitorBuiltin(bytecode.OpNotifyAll),
+		"locktouch": func(fc *fnCompiler, ex *callExpr) (*Type, error) {
+			types, err := fc.genArgs(ex, []*Type{nil})
+			if err != nil {
+				return nil, err
+			}
+			if !types[0].isRef() || types[0].Kind == TypeNull {
+				return nil, errAt(ex.line, "locktouch needs a heap object, got %s", types[0])
+			}
+			idx := fc.c.nativeMethod("sys.locktouch", 1, false)
+			fc.asm.Call(idx)
+			return tVoid, nil
+		},
+
+		// Environment natives.
+		"clock":    nativeBuiltin("sys.clock", nil, tInt),
+		"rand":     nativeBuiltin("sys.rand", nil, tInt),
+		"gc":       nativeBuiltin("sys.gc", nil, tVoid),
+		"threadid": nativeBuiltin("sys.threadid", nil, tStr),
+		"send":     nativeBuiltin("chan.send", []*Type{tStr}, tVoid),
+		"recv":     nativeBuiltin("chan.recv", nil, tStr),
+		"chanlen":  nativeBuiltin("chan.len", nil, tInt),
+		"fopen":    nativeBuiltin("fs.open", []*Type{tStr, tInt}, tInt),
+		"fwrite":   nativeBuiltin("fs.write", []*Type{tInt, tStr}, tInt),
+		"fread":    nativeBuiltin("fs.read", []*Type{tInt, tInt}, tStr),
+		"fseek":    nativeBuiltin("fs.seek", []*Type{tInt, tInt, tInt}, tInt),
+		"ftell":    nativeBuiltin("fs.tell", []*Type{tInt}, tInt),
+		"fclose":   nativeBuiltin("fs.close", []*Type{tInt}, tVoid),
+		"fsize":    nativeBuiltin("fs.size", []*Type{tStr}, tInt),
+		"fexists":  nativeBuiltin("fs.exists", []*Type{tStr}, tInt),
+		"fdelete":  nativeBuiltin("fs.delete", []*Type{tStr}, tInt),
+
+		// Math natives.
+		"sqrt":  nativeBuiltin("math.sqrt", []*Type{tFloat}, tFloat),
+		"sin":   nativeBuiltin("math.sin", []*Type{tFloat}, tFloat),
+		"cos":   nativeBuiltin("math.cos", []*Type{tFloat}, tFloat),
+		"exp":   nativeBuiltin("math.exp", []*Type{tFloat}, tFloat),
+		"log":   nativeBuiltin("math.log", []*Type{tFloat}, tFloat),
+		"floor": nativeBuiltin("math.floor", []*Type{tFloat}, tFloat),
+		"fabs":  nativeBuiltin("math.abs", []*Type{tFloat}, tFloat),
+		"pow":   nativeBuiltin("math.pow", []*Type{tFloat, tFloat}, tFloat),
+	}
+}

@@ -1,0 +1,570 @@
+package minilang
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+)
+
+// Compile translates minilang source into a verified FTVM program.
+func Compile(name, src string) (*bytecode.Program, error) {
+	ast, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		b:       bytecode.NewBuilder(name),
+		classes: make(map[string]*classInfo),
+		funcs:   make(map[string]*funcInfo),
+		globals: make(map[string]*globalInfo),
+		natives: make(map[string]int32),
+	}
+	return c.compile(ast)
+}
+
+type classInfo struct {
+	decl     *classDecl
+	idx      int32
+	fieldIdx map[string]int
+}
+
+type funcInfo struct {
+	decl *funcDecl
+	idx  int32
+}
+
+type globalInfo struct {
+	decl *globalDecl
+	idx  int32
+}
+
+type compiler struct {
+	b       *bytecode.Builder
+	classes map[string]*classInfo
+	funcs   map[string]*funcInfo
+	globals map[string]*globalInfo
+	natives map[string]int32 // native sig -> declared method index
+}
+
+func (c *compiler) compile(ast *program) (*bytecode.Program, error) {
+	for _, cd := range ast.classes {
+		if _, dup := c.classes[cd.name]; dup {
+			return nil, errAt(cd.line, "duplicate class %s", cd.name)
+		}
+		fieldNames := make([]string, len(cd.fields))
+		fieldIdx := make(map[string]int, len(cd.fields))
+		for i, f := range cd.fields {
+			if _, dup := fieldIdx[f.name]; dup {
+				return nil, errAt(cd.line, "class %s: duplicate field %s", cd.name, f.name)
+			}
+			fieldNames[i] = f.name
+			fieldIdx[f.name] = i
+		}
+		idx := c.b.AddClass(cd.name, fieldNames...)
+		c.classes[cd.name] = &classInfo{decl: cd, idx: idx, fieldIdx: fieldIdx}
+	}
+	// Validate field and global types now that all classes are known.
+	for _, cd := range ast.classes {
+		for _, f := range cd.fields {
+			if err := c.checkType(f.typ, cd.line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, g := range ast.globals {
+		if _, dup := c.globals[g.name]; dup {
+			return nil, errAt(g.line, "duplicate global %s", g.name)
+		}
+		if err := c.checkType(g.typ, g.line); err != nil {
+			return nil, err
+		}
+		idx := c.b.AddStatic("G." + g.name)
+		c.globals[g.name] = &globalInfo{decl: g, idx: idx}
+	}
+	for _, fd := range ast.funcs {
+		if _, dup := c.funcs[fd.name]; dup {
+			return nil, errAt(fd.line, "duplicate function %s", fd.name)
+		}
+		if builtins[fd.name] != nil {
+			return nil, errAt(fd.line, "function %s shadows a builtin", fd.name)
+		}
+		for _, p := range fd.params {
+			if err := c.checkType(p.typ, fd.line); err != nil {
+				return nil, err
+			}
+		}
+		if fd.ret.Kind != TypeVoid {
+			if err := c.checkType(fd.ret, fd.line); err != nil {
+				return nil, err
+			}
+		}
+		idx := c.b.DeclareMethod(fd.name, len(fd.params), fd.ret.Kind != TypeVoid)
+		c.funcs[fd.name] = &funcInfo{decl: fd, idx: idx}
+	}
+	mainInfo, ok := c.funcs["main"]
+	if !ok {
+		return nil, errAt(1, "no main function")
+	}
+	if len(mainInfo.decl.params) != 0 || mainInfo.decl.ret.Kind != TypeVoid {
+		return nil, errAt(mainInfo.decl.line, "main must take no parameters and return nothing")
+	}
+	for _, fd := range ast.funcs {
+		fc := &fnCompiler{
+			c:      c,
+			f:      fd,
+			asm:    c.b.Define(c.funcs[fd.name].idx),
+			locals: []map[string]localVar{make(map[string]localVar)},
+		}
+		// Parameters occupy local slots 0..NArgs-1 (the calling convention).
+		for i, p := range fd.params {
+			scope := fc.locals[0]
+			if _, dup := scope[p.name]; dup {
+				return nil, errAt(fd.line, "duplicate parameter %s", p.name)
+			}
+			scope[p.name] = localVar{slot: int32(i), typ: p.typ}
+		}
+		if fd.name == "main" {
+			// Global initializers run in declaration order before main.
+			for _, g := range ast.globals {
+				if g.init == nil {
+					continue
+				}
+				t, err := fc.genExpr(g.init)
+				if err != nil {
+					return nil, err
+				}
+				if !assignable(g.typ, t) {
+					return nil, errAt(g.line, "cannot initialize global %s (%s) with %s", g.name, g.typ, t)
+				}
+				fc.asm.Emit(bytecode.OpPutS, c.globals[g.name].idx)
+			}
+		}
+		if err := fc.genBody(fd.body); err != nil {
+			return nil, err
+		}
+		fc.asm.Done()
+	}
+	return c.b.Program()
+}
+
+// checkType validates that class names resolve.
+func (c *compiler) checkType(t *Type, line int) error {
+	switch t.Kind {
+	case TypeClass:
+		if _, ok := c.classes[t.Class]; !ok {
+			return errAt(line, "unknown class %s", t.Class)
+		}
+	case TypeArray:
+		return c.checkType(t.Elem, line)
+	}
+	return nil
+}
+
+// nativeMethod lazily declares a native stub for sig.
+func (c *compiler) nativeMethod(sig string, arity int, returns bool) int32 {
+	if idx, ok := c.natives[sig]; ok {
+		return idx
+	}
+	idx := c.b.DeclareNative("$n_"+sig, sig, arity, returns)
+	c.natives[sig] = idx
+	return idx
+}
+
+type localVar struct {
+	slot int32
+	typ  *Type
+}
+
+type loopCtx struct {
+	breakLabel, contLabel string
+	lockDepth             int
+}
+
+type fnCompiler struct {
+	c      *compiler
+	f      *funcDecl
+	asm    *bytecode.Asm
+	locals []map[string]localVar
+	labelN int
+	loops  []loopCtx
+	// lockSlots holds the temp local of each active lock() block, innermost
+	// last; return/break/continue unwind them.
+	lockSlots []int32
+}
+
+func (fc *fnCompiler) label(prefix string) string {
+	fc.labelN++
+	return fmt.Sprintf("%s_%d", prefix, fc.labelN)
+}
+
+func (fc *fnCompiler) pushScope() { fc.locals = append(fc.locals, make(map[string]localVar)) }
+func (fc *fnCompiler) popScope()  { fc.locals = fc.locals[:len(fc.locals)-1] }
+
+func (fc *fnCompiler) declare(name string, typ *Type, line int) error {
+	scope := fc.locals[len(fc.locals)-1]
+	if _, dup := scope[name]; dup {
+		return errAt(line, "duplicate variable %s", name)
+	}
+	scope[name] = localVar{slot: fc.asm.Local(), typ: typ}
+	return nil
+}
+
+func (fc *fnCompiler) lookup(name string) (localVar, bool) {
+	for i := len(fc.locals) - 1; i >= 0; i-- {
+		if v, ok := fc.locals[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+// genBody compiles a function body and guarantees termination of all paths.
+func (fc *fnCompiler) genBody(body []stmt) error {
+	if err := fc.genStmts(body); err != nil {
+		return err
+	}
+	// Implicit return (the verifier rejects falling off the end).
+	if fc.f.ret.Kind == TypeVoid {
+		fc.asm.Emit(bytecode.OpRet)
+		return nil
+	}
+	// A value-returning function must return on every path; emit a trap
+	// (division by zero is a deterministic fatal error) in case control
+	// reaches the end — simpler than full path analysis and loud in tests.
+	fc.asm.Int(0).Int(0).Emit(bytecode.OpIDiv).Emit(bytecode.OpPop)
+	fc.asm.Int(0)
+	fc.asm.Emit(bytecode.OpRetV)
+	return nil
+}
+
+func (fc *fnCompiler) genStmts(body []stmt) error {
+	for _, s := range body {
+		if err := fc.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fnCompiler) genStmt(s stmt) error {
+	switch st := s.(type) {
+	case *varStmt:
+		var typ *Type
+		if st.init != nil {
+			t, err := fc.genExpr(st.init)
+			if err != nil {
+				return err
+			}
+			if st.typ != nil {
+				if err := fc.c.checkType(st.typ, st.line); err != nil {
+					return err
+				}
+				if !assignable(st.typ, t) {
+					return errAt(st.line, "cannot assign %s to %s %s", t, st.typ, st.name)
+				}
+				typ = st.typ
+			} else {
+				if t.Kind == TypeVoid {
+					return errAt(st.line, "initializer of %s has no value", st.name)
+				}
+				if t.Kind == TypeNull {
+					return errAt(st.line, "cannot infer type of %s from null; declare a type", st.name)
+				}
+				typ = t
+			}
+		} else {
+			if err := fc.c.checkType(st.typ, st.line); err != nil {
+				return err
+			}
+			typ = st.typ
+			fc.genZero(typ)
+		}
+		if err := fc.declare(st.name, typ, st.line); err != nil {
+			return err
+		}
+		v, _ := fc.lookup(st.name)
+		fc.asm.Store(v.slot)
+		return nil
+
+	case *assignStmt:
+		return fc.genAssign(st)
+
+	case *exprStmt:
+		t, err := fc.genExpr(st.e)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeVoid {
+			fc.asm.Emit(bytecode.OpPop)
+		}
+		return nil
+
+	case *ifStmt:
+		elseL, endL := fc.label("else"), fc.label("endif")
+		if err := fc.genCond(st.cond); err != nil {
+			return err
+		}
+		fc.asm.Jz(elseL)
+		if err := fc.genScoped(st.then); err != nil {
+			return err
+		}
+		fc.asm.Jmp(endL)
+		fc.asm.Label(elseL)
+		if st.alt != nil {
+			if err := fc.genScoped(st.alt); err != nil {
+				return err
+			}
+		}
+		fc.asm.Label(endL)
+		return nil
+
+	case *whileStmt:
+		headL, endL := fc.label("while"), fc.label("endwhile")
+		fc.asm.Label(headL)
+		if err := fc.genCond(st.cond); err != nil {
+			return err
+		}
+		fc.asm.Jz(endL)
+		fc.loops = append(fc.loops, loopCtx{breakLabel: endL, contLabel: headL, lockDepth: len(fc.lockSlots)})
+		if err := fc.genScoped(st.body); err != nil {
+			return err
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		fc.asm.Jmp(headL)
+		fc.asm.Label(endL)
+		return nil
+
+	case *forStmt:
+		fc.pushScope()
+		if st.init != nil {
+			if err := fc.genStmt(st.init); err != nil {
+				return err
+			}
+		}
+		headL, postL, endL := fc.label("for"), fc.label("forpost"), fc.label("endfor")
+		fc.asm.Label(headL)
+		if st.cond != nil {
+			if err := fc.genCond(st.cond); err != nil {
+				return err
+			}
+			fc.asm.Jz(endL)
+		}
+		fc.loops = append(fc.loops, loopCtx{breakLabel: endL, contLabel: postL, lockDepth: len(fc.lockSlots)})
+		if err := fc.genScoped(st.body); err != nil {
+			return err
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		fc.asm.Label(postL)
+		if st.post != nil {
+			if err := fc.genStmt(st.post); err != nil {
+				return err
+			}
+		}
+		fc.asm.Jmp(headL)
+		fc.asm.Label(endL)
+		fc.popScope()
+		return nil
+
+	case *returnStmt:
+		if st.value == nil {
+			if fc.f.ret.Kind != TypeVoid {
+				return errAt(st.line, "missing return value in %s", fc.f.name)
+			}
+			fc.unwindLocks(0)
+			fc.asm.Emit(bytecode.OpRet)
+			return nil
+		}
+		t, err := fc.genExpr(st.value)
+		if err != nil {
+			return err
+		}
+		if !assignable(fc.f.ret, t) {
+			return errAt(st.line, "cannot return %s from %s (returns %s)", t, fc.f.name, fc.f.ret)
+		}
+		fc.unwindLocks(0)
+		fc.asm.Emit(bytecode.OpRetV)
+		return nil
+
+	case *breakStmt:
+		if len(fc.loops) == 0 {
+			return errAt(st.line, "break outside a loop")
+		}
+		loop := fc.loops[len(fc.loops)-1]
+		fc.unwindLocks(loop.lockDepth)
+		fc.asm.Jmp(loop.breakLabel)
+		return nil
+
+	case *continueStmt:
+		if len(fc.loops) == 0 {
+			return errAt(st.line, "continue outside a loop")
+		}
+		loop := fc.loops[len(fc.loops)-1]
+		fc.unwindLocks(loop.lockDepth)
+		fc.asm.Jmp(loop.contLabel)
+		return nil
+
+	case *lockStmt:
+		t, err := fc.genExpr(st.obj)
+		if err != nil {
+			return err
+		}
+		if !t.isRef() || t.Kind == TypeNull {
+			return errAt(st.line, "lock needs a heap object, got %s", t)
+		}
+		slot := fc.asm.Local()
+		fc.asm.Emit(bytecode.OpDup)
+		fc.asm.Store(slot)
+		fc.asm.Emit(bytecode.OpMEnter)
+		fc.lockSlots = append(fc.lockSlots, slot)
+		if err := fc.genScoped(st.body); err != nil {
+			return err
+		}
+		fc.lockSlots = fc.lockSlots[:len(fc.lockSlots)-1]
+		fc.asm.Load(slot)
+		fc.asm.Emit(bytecode.OpMExit)
+		return nil
+
+	case *blockStmt:
+		return fc.genScoped(st.body)
+
+	case *haltStmt:
+		fc.asm.Emit(bytecode.OpHalt)
+		return nil
+
+	case *yieldStmt:
+		fc.asm.Emit(bytecode.OpYield)
+		return nil
+
+	default:
+		return errAt(s.stmtLine(), "unhandled statement %T", s)
+	}
+}
+
+// unwindLocks releases active lock() monitors down to depth (for early exits).
+func (fc *fnCompiler) unwindLocks(depth int) {
+	for i := len(fc.lockSlots) - 1; i >= depth; i-- {
+		fc.asm.Load(fc.lockSlots[i])
+		fc.asm.Emit(bytecode.OpMExit)
+	}
+}
+
+func (fc *fnCompiler) genScoped(body []stmt) error {
+	fc.pushScope()
+	err := fc.genStmts(body)
+	fc.popScope()
+	return err
+}
+
+// genCond compiles an int-valued condition.
+func (fc *fnCompiler) genCond(e expr) error {
+	t, err := fc.genExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != TypeInt {
+		return errAt(e.exprLine(), "condition must be int, got %s", t)
+	}
+	return nil
+}
+
+// genZero pushes the zero value of t.
+func (fc *fnCompiler) genZero(t *Type) {
+	switch t.Kind {
+	case TypeInt:
+		fc.asm.Int(0)
+	case TypeFloat:
+		fc.asm.Float(0)
+	default:
+		fc.asm.Emit(bytecode.OpNull)
+	}
+}
+
+func (fc *fnCompiler) genAssign(st *assignStmt) error {
+	switch target := st.target.(type) {
+	case *identExpr:
+		if v, ok := fc.lookup(target.name); ok {
+			t, err := fc.genExpr(st.value)
+			if err != nil {
+				return err
+			}
+			if !assignable(v.typ, t) {
+				return errAt(st.line, "cannot assign %s to %s %s", t, v.typ, target.name)
+			}
+			fc.asm.Store(v.slot)
+			return nil
+		}
+		if g, ok := fc.c.globals[target.name]; ok {
+			t, err := fc.genExpr(st.value)
+			if err != nil {
+				return err
+			}
+			if !assignable(g.decl.typ, t) {
+				return errAt(st.line, "cannot assign %s to global %s %s", t, g.decl.typ, target.name)
+			}
+			fc.asm.Emit(bytecode.OpPutS, g.idx)
+			return nil
+		}
+		return errAt(st.line, "unknown variable %s", target.name)
+
+	case *fieldExpr:
+		objT, err := fc.genExpr(target.x)
+		if err != nil {
+			return err
+		}
+		ci, fi, ft, err := fc.fieldOf(objT, target.name, st.line)
+		if err != nil {
+			return err
+		}
+		_ = ci
+		t, err := fc.genExpr(st.value)
+		if err != nil {
+			return err
+		}
+		if !assignable(ft, t) {
+			return errAt(st.line, "cannot assign %s to field %s (%s)", t, target.name, ft)
+		}
+		fc.asm.Emit(bytecode.OpPutF, int32(fi))
+		return nil
+
+	case *indexExpr:
+		arrT, err := fc.genExpr(target.x)
+		if err != nil {
+			return err
+		}
+		if arrT.Kind != TypeArray {
+			return errAt(st.line, "indexed assignment needs an array, got %s", arrT)
+		}
+		idxT, err := fc.genExpr(target.idx)
+		if err != nil {
+			return err
+		}
+		if idxT.Kind != TypeInt {
+			return errAt(st.line, "array index must be int, got %s", idxT)
+		}
+		t, err := fc.genExpr(st.value)
+		if err != nil {
+			return err
+		}
+		if !assignable(arrT.Elem, t) {
+			return errAt(st.line, "cannot store %s into %s", t, arrT)
+		}
+		fc.asm.Emit(bytecode.OpAStore)
+		return nil
+
+	default:
+		return errAt(st.line, "invalid assignment target")
+	}
+}
+
+// fieldOf resolves a field access on a class-typed expression.
+func (fc *fnCompiler) fieldOf(objT *Type, name string, line int) (*classInfo, int, *Type, error) {
+	if objT.Kind != TypeClass {
+		return nil, 0, nil, errAt(line, "field access on non-class %s", objT)
+	}
+	ci := fc.c.classes[objT.Class]
+	fi, ok := ci.fieldIdx[name]
+	if !ok {
+		return nil, 0, nil, errAt(line, "class %s has no field %s", objT.Class, name)
+	}
+	return ci, fi, ci.decl.fields[fi].typ, nil
+}

@@ -1,0 +1,170 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/vm"
+)
+
+// Differential fuzz: generate random integer expressions, evaluate them with
+// a Go reference evaluator, compile them with minilang and execute on the
+// VM, and require identical results. Exercises the expression grammar,
+// precedence, short-circuit lowering and the branch-free comparison
+// epilogues against an independent implementation.
+
+type exprGen struct {
+	state uint64
+	vars  []string
+	vals  map[string]int64
+}
+
+func (g *exprGen) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *exprGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// gen returns (source, value) for a random expression of bounded depth.
+// Division and shifts are constrained to defined behaviour.
+func (g *exprGen) gen(depth int) (string, int64) {
+	if depth == 0 || g.intn(4) == 0 {
+		switch g.intn(3) {
+		case 0:
+			v := int64(g.intn(2000) - 1000)
+			if v < 0 {
+				// Parenthesise negatives to dodge '--' style ambiguity.
+				return fmt.Sprintf("(0 - %d)", -v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		case 1:
+			name := g.vars[g.intn(len(g.vars))]
+			return name, g.vals[name]
+		default:
+			v := int64(g.intn(2))
+			if v == 1 {
+				return "true", 1
+			}
+			return "false", 0
+		}
+	}
+	op := g.intn(13)
+	ls, lv := g.gen(depth - 1)
+	rs, rv := g.gen(depth - 1)
+	wrap := func(op string, v int64) (string, int64) {
+		return "(" + ls + " " + op + " " + rs + ")", v
+	}
+	switch op {
+	case 0:
+		return wrap("+", lv+rv)
+	case 1:
+		return wrap("-", lv-rv)
+	case 2:
+		return wrap("*", lv*rv)
+	case 3:
+		if rv == 0 {
+			return wrap("+", lv+rv)
+		}
+		return wrap("/", lv/rv)
+	case 4:
+		if rv == 0 {
+			return wrap("-", lv-rv)
+		}
+		return wrap("%", lv%rv)
+	case 5:
+		return wrap("&", lv&rv)
+	case 6:
+		return wrap("|", lv|rv)
+	case 7:
+		return wrap("^", lv^rv)
+	case 8:
+		return wrap("==", boolInt(lv == rv))
+	case 9:
+		return wrap("!=", boolInt(lv != rv))
+	case 10:
+		return wrap("<", boolInt(lv < rv))
+	case 11:
+		return wrap(">=", boolInt(lv >= rv))
+	default:
+		// Short-circuit ops need 0/1 operands to mirror Go's bool result.
+		lb, rb := boolInt(lv != 0), boolInt(rv != 0)
+		lsb := "(" + ls + " != 0)"
+		rsb := "(" + rs + " != 0)"
+		if g.intn(2) == 0 {
+			return "(" + lsb + " && " + rsb + ")", lb & rb
+		}
+		return "(" + lsb + " || " + rsb + ")", lb | rb
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestExpressionFuzz(t *testing.T) {
+	g := &exprGen{
+		state: 0xfeedface,
+		vars:  []string{"a", "b", "c"},
+		vals:  map[string]int64{"a": 17, "b": -5, "c": 1000003},
+	}
+	const batch = 25
+	for round := 0; round < 8; round++ {
+		var exprs []string
+		var wants []int64
+		for i := 0; i < batch; i++ {
+			src, want := g.gen(4)
+			exprs = append(exprs, src)
+			wants = append(wants, want)
+		}
+		var sb strings.Builder
+		sb.WriteString("func main() {\n")
+		sb.WriteString("var a int = 17; var b int = 0 - 5; var c int = 1000003;\n")
+		for _, e := range exprs {
+			fmt.Fprintf(&sb, "print(%s);\n", e)
+		}
+		sb.WriteString("}\n")
+		prog, err := Compile("fuzz", sb.String())
+		if err != nil {
+			t.Fatalf("round %d: compile: %v\nsource:\n%s", round, err, sb.String())
+		}
+		e := env.New(1)
+		v, err := vm.New(vm.Config{Program: prog, Env: e, MaxInstructions: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Run(); err != nil {
+			t.Fatalf("round %d: run: %v\nsource:\n%s", round, err, sb.String())
+		}
+		lines := e.Console().Lines()
+		if len(lines) != batch {
+			t.Fatalf("round %d: %d lines, want %d", round, len(lines), batch)
+		}
+		for i := range lines {
+			if lines[i] != fmt.Sprintf("%d", wants[i]) {
+				t.Fatalf("round %d expr %d:\n  %s\n  got %s, want %d",
+					round, i, exprs[i], lines[i], wants[i])
+			}
+		}
+	}
+}
+
+// TestShiftSemantics pins the shift behaviour (Go-like, masked to 63 bits).
+func TestShiftSemantics(t *testing.T) {
+	got := run(t, `
+func main() {
+	print(1 << 62);
+	print((0 - 8) >> 1);
+	print(5 << 64);
+}`)
+	// Shift counts are masked &63 (so 64 behaves like 0).
+	expectLines(t, got, "4611686018427387904", "-4", "5")
+}

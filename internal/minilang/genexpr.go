@@ -1,0 +1,317 @@
+package minilang
+
+import (
+	"repro/internal/bytecode"
+)
+
+// genExpr compiles e, leaving its value on the stack, and returns its type.
+func (fc *fnCompiler) genExpr(e expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *intLit:
+		fc.asm.Int(ex.v)
+		return tInt, nil
+	case *floatLit:
+		fc.asm.Float(ex.v)
+		return tFloat, nil
+	case *strLit:
+		fc.asm.Str(ex.v)
+		return tStr, nil
+	case *nullLit:
+		fc.asm.Emit(bytecode.OpNull)
+		return tNull, nil
+
+	case *identExpr:
+		if v, ok := fc.lookup(ex.name); ok {
+			fc.asm.Load(v.slot)
+			return v.typ, nil
+		}
+		if g, ok := fc.c.globals[ex.name]; ok {
+			fc.asm.Emit(bytecode.OpGetS, g.idx)
+			return g.decl.typ, nil
+		}
+		return nil, errAt(ex.line, "unknown variable %s", ex.name)
+
+	case *unaryExpr:
+		t, err := fc.genExpr(ex.x)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.op {
+		case "-":
+			switch t.Kind {
+			case TypeInt:
+				fc.asm.Emit(bytecode.OpINeg)
+				return tInt, nil
+			case TypeFloat:
+				fc.asm.Emit(bytecode.OpFNeg)
+				return tFloat, nil
+			}
+			return nil, errAt(ex.line, "cannot negate %s", t)
+		case "!":
+			if t.Kind != TypeInt {
+				return nil, errAt(ex.line, "! needs int, got %s", t)
+			}
+			// !x == (x compared to 0 is equal): cmp yields -1/0/1; 1-(c*c).
+			fc.asm.Int(0)
+			fc.asm.Emit(bytecode.OpICmp)
+			fc.asm.Emit(bytecode.OpDup)
+			fc.asm.Emit(bytecode.OpIMul)
+			fc.asm.Int(1)
+			fc.asm.Emit(bytecode.OpIXor)
+			return tInt, nil
+		}
+		return nil, errAt(ex.line, "unknown unary %s", ex.op)
+
+	case *binExpr:
+		return fc.genBin(ex)
+
+	case *fieldExpr:
+		objT, err := fc.genExpr(ex.x)
+		if err != nil {
+			return nil, err
+		}
+		_, fi, ft, err := fc.fieldOf(objT, ex.name, ex.line)
+		if err != nil {
+			return nil, err
+		}
+		fc.asm.Emit(bytecode.OpGetF, int32(fi))
+		return ft, nil
+
+	case *indexExpr:
+		arrT, err := fc.genExpr(ex.x)
+		if err != nil {
+			return nil, err
+		}
+		idxT, err := fc.genExpr(ex.idx)
+		if err != nil {
+			return nil, err
+		}
+		if idxT.Kind != TypeInt {
+			return nil, errAt(ex.line, "index must be int, got %s", idxT)
+		}
+		switch arrT.Kind {
+		case TypeArray:
+			fc.asm.Emit(bytecode.OpALoad)
+			return arrT.Elem, nil
+		case TypeStr:
+			fc.asm.Emit(bytecode.OpSIdx)
+			return tInt, nil
+		default:
+			return nil, errAt(ex.line, "cannot index %s", arrT)
+		}
+
+	case *newExpr:
+		if err := fc.c.checkType(ex.typ, ex.line); err != nil {
+			return nil, err
+		}
+		if ex.typ.Kind == TypeClass {
+			ci := fc.c.classes[ex.typ.Class]
+			fc.asm.Emit(bytecode.OpNew, ci.idx)
+			// The heap zero value of every field is null; scalar fields get
+			// their typed zero so reads before first write are well-typed.
+			for fi, f := range ci.decl.fields {
+				switch f.typ.Kind {
+				case TypeInt:
+					fc.asm.Emit(bytecode.OpDup)
+					fc.asm.Int(0)
+					fc.asm.Emit(bytecode.OpPutF, int32(fi))
+				case TypeFloat:
+					fc.asm.Emit(bytecode.OpDup)
+					fc.asm.Float(0)
+					fc.asm.Emit(bytecode.OpPutF, int32(fi))
+				}
+			}
+			return ex.typ, nil
+		}
+		sizeT, err := fc.genExpr(ex.size)
+		if err != nil {
+			return nil, err
+		}
+		if sizeT.Kind != TypeInt {
+			return nil, errAt(ex.line, "array length must be int, got %s", sizeT)
+		}
+		var kind int32
+		switch ex.typ.Elem.Kind {
+		case TypeInt:
+			kind = bytecode.ElemInt
+		case TypeFloat:
+			kind = bytecode.ElemFloat
+		default:
+			kind = bytecode.ElemRef
+		}
+		fc.asm.Emit(bytecode.OpNewArr, kind)
+		return ex.typ, nil
+
+	case *spawnExpr:
+		fn, ok := fc.c.funcs[ex.name]
+		if !ok {
+			return nil, errAt(ex.line, "spawn of unknown function %s", ex.name)
+		}
+		if fn.decl.ret.Kind != TypeVoid {
+			return nil, errAt(ex.line, "spawned function %s must not return a value", ex.name)
+		}
+		if len(ex.args) != len(fn.decl.params) {
+			return nil, errAt(ex.line, "spawn %s: %d args, want %d", ex.name, len(ex.args), len(fn.decl.params))
+		}
+		for i, a := range ex.args {
+			t, err := fc.genExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !assignable(fn.decl.params[i].typ, t) {
+				return nil, errAt(ex.line, "spawn %s: arg %d is %s, want %s", ex.name, i+1, t, fn.decl.params[i].typ)
+			}
+		}
+		fc.asm.Emit(bytecode.OpSpawn, fn.idx, int32(len(ex.args)))
+		return tThread, nil
+
+	case *callExpr:
+		return fc.genCall(ex)
+
+	default:
+		return nil, errAt(e.exprLine(), "unhandled expression %T", e)
+	}
+}
+
+// genBin compiles a binary operation.
+func (fc *fnCompiler) genBin(ex *binExpr) (*Type, error) {
+	// Short-circuit logical operators.
+	if ex.op == "&&" || ex.op == "||" {
+		shortL, endL := fc.label("sc"), fc.label("scend")
+		xt, err := fc.genExpr(ex.x)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != TypeInt {
+			return nil, errAt(ex.line, "%s needs int operands, got %s", ex.op, xt)
+		}
+		if ex.op == "&&" {
+			fc.asm.Jz(shortL)
+		} else {
+			fc.asm.Jnz(shortL)
+		}
+		yt, err := fc.genExpr(ex.y)
+		if err != nil {
+			return nil, err
+		}
+		if yt.Kind != TypeInt {
+			return nil, errAt(ex.line, "%s needs int operands, got %s", ex.op, yt)
+		}
+		// Normalise the surviving operand to 0/1.
+		fc.normBool()
+		fc.asm.Jmp(endL)
+		fc.asm.Label(shortL)
+		if ex.op == "&&" {
+			fc.asm.Int(0)
+		} else {
+			fc.asm.Int(1)
+		}
+		fc.asm.Label(endL)
+		return tInt, nil
+	}
+
+	xt, err := fc.genExpr(ex.x)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := fc.genExpr(ex.y)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference equality.
+	if (ex.op == "==" || ex.op == "!=") && xt.isRef() && yt.isRef() &&
+		(xt.Kind != TypeStr || yt.Kind != TypeStr) {
+		if !assignable(xt, yt) && !assignable(yt, xt) {
+			return nil, errAt(ex.line, "cannot compare %s with %s", xt, yt)
+		}
+		fc.asm.Emit(bytecode.OpRefEq)
+		if ex.op == "!=" {
+			fc.asm.Int(1)
+			fc.asm.Emit(bytecode.OpIXor)
+		}
+		return tInt, nil
+	}
+
+	switch {
+	case xt.Kind == TypeInt && yt.Kind == TypeInt:
+		if op, ok := intOps[ex.op]; ok {
+			fc.asm.Emit(op)
+			return tInt, nil
+		}
+		if isCmp(ex.op) {
+			fc.asm.Emit(bytecode.OpICmp)
+			fc.genCmpEpilogue(ex.op)
+			return tInt, nil
+		}
+	case xt.Kind == TypeFloat && yt.Kind == TypeFloat:
+		if op, ok := floatOps[ex.op]; ok {
+			fc.asm.Emit(op)
+			return tFloat, nil
+		}
+		if isCmp(ex.op) {
+			fc.asm.Emit(bytecode.OpFCmp)
+			fc.genCmpEpilogue(ex.op)
+			return tInt, nil
+		}
+	case xt.Kind == TypeStr && yt.Kind == TypeStr:
+		if ex.op == "+" {
+			fc.asm.Emit(bytecode.OpSCat)
+			return tStr, nil
+		}
+		if isCmp(ex.op) {
+			fc.asm.Emit(bytecode.OpSCmp)
+			fc.genCmpEpilogue(ex.op)
+			return tInt, nil
+		}
+	}
+	return nil, errAt(ex.line, "invalid operands for %s: %s and %s", ex.op, xt, yt)
+}
+
+var intOps = map[string]bytecode.Opcode{
+	"+": bytecode.OpIAdd, "-": bytecode.OpISub, "*": bytecode.OpIMul,
+	"/": bytecode.OpIDiv, "%": bytecode.OpIRem,
+	"&": bytecode.OpIAnd, "|": bytecode.OpIOr, "^": bytecode.OpIXor,
+	"<<": bytecode.OpIShl, ">>": bytecode.OpIShr,
+}
+
+var floatOps = map[string]bytecode.Opcode{
+	"+": bytecode.OpFAdd, "-": bytecode.OpFSub,
+	"*": bytecode.OpFMul, "/": bytecode.OpFDiv,
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// genCmpEpilogue turns the -1/0/1 comparison result on the stack into 0/1
+// for the given operator, branch-free (c is known to be in {-1,0,1}).
+func (fc *fnCompiler) genCmpEpilogue(op string) {
+	a := fc.asm
+	switch op {
+	case "==": // 1 - c*c
+		a.Emit(bytecode.OpDup).Emit(bytecode.OpIMul).Int(1).Emit(bytecode.OpIXor)
+	case "!=": // c*c
+		a.Emit(bytecode.OpDup).Emit(bytecode.OpIMul)
+	case "<": // -(c>>63)
+		a.Int(63).Emit(bytecode.OpIShr).Emit(bytecode.OpINeg)
+	case ">": // (c+1)>>1
+		a.Int(1).Emit(bytecode.OpIAdd).Int(1).Emit(bytecode.OpIShr)
+	case "<=": // !(c>0)
+		a.Int(1).Emit(bytecode.OpIAdd).Int(1).Emit(bytecode.OpIShr).Int(1).Emit(bytecode.OpIXor)
+	case ">=": // !(c<0)
+		a.Int(63).Emit(bytecode.OpIShr).Emit(bytecode.OpINeg).Int(1).Emit(bytecode.OpIXor)
+	}
+}
+
+// normBool turns any int into 0/1 ((x cmp 0)^2).
+func (fc *fnCompiler) normBool() {
+	fc.asm.Int(0)
+	fc.asm.Emit(bytecode.OpICmp)
+	fc.asm.Emit(bytecode.OpDup)
+	fc.asm.Emit(bytecode.OpIMul)
+}

@@ -1,0 +1,234 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScopingAndShadowing(t *testing.T) {
+	got := run(t, `
+var x int = 1;
+func main() {
+	print(x);          // global
+	var x int = 2;     // local shadows global
+	print(x);
+	{
+		var x int = 3; // block shadows local
+		print(x);
+	}
+	print(x);          // back to the local
+	if (true) {
+		var y int = 9;
+		print(y);
+	}
+	var y int = 10;    // legal: the if-block y is out of scope
+	print(y);
+}`)
+	expectLines(t, got, "1", "2", "3", "2", "9", "10")
+}
+
+func TestForVariants(t *testing.T) {
+	got := run(t, `
+func main() {
+	var n int = 0;
+	for (;;) {
+		n = n + 1;
+		if (n >= 4) { break; }
+	}
+	print(n);
+	var s int = 0;
+	var i int = 0;
+	for (; i < 5;) {
+		s = s + i;
+		i = i + 1;
+	}
+	print(s);
+	for (var j int = 10; j > 0; j = j - 3) {
+		s = s + 1;
+	}
+	print(s);
+}`)
+	expectLines(t, got, "4", "10", "14")
+}
+
+func TestNestedLocksAndContinue(t *testing.T) {
+	got := run(t, `
+class L { v int; }
+var a L;
+var b L;
+func main() {
+	a = new L;
+	b = new L;
+	var n int = 0;
+	for (var i int = 0; i < 6; i = i + 1) {
+		lock (a) {
+			lock (b) {
+				if (i % 2 == 0) { continue; }  // must release both
+				n = n + 1;
+			}
+		}
+	}
+	lock (a) { lock (b) { print(n); } }   // both monitors free again
+}`)
+	expectLines(t, got, "3")
+}
+
+func TestGlobalArraysAndClassFields(t *testing.T) {
+	got := run(t, `
+class Node { val int; next Node; }
+var table []Node;
+var matrix [][]int;
+func main() {
+	table = new [3]Node;
+	var head Node = null;
+	for (var i int = 0; i < 3; i = i + 1) {
+		var n Node = new Node;
+		n.val = i * 10;
+		n.next = head;
+		head = n;
+		table[i] = n;
+	}
+	var sum int = 0;
+	var cur Node = head;
+	while (cur != null) {
+		sum = sum + cur.val;
+		cur = cur.next;
+	}
+	print(sum);
+	matrix = new [2][]int;
+	matrix[0] = new [3]int;
+	matrix[1] = new [3]int;
+	matrix[1][2] = 42;
+	print(matrix[1][2] + len(matrix) + len(matrix[0]));
+}`)
+	expectLines(t, got, "30", "47")
+}
+
+func TestCommentsAndEscapes(t *testing.T) {
+	got := run(t, `
+// line comment
+/* block
+   comment */
+func main() {
+	print("tab\there");
+	print("quote\"inside");
+	print("back\\slash"); // trailing comment
+}`)
+	expectLines(t, got, "tab\there", "quote\"inside", "back\\slash")
+}
+
+func TestRecursionDeep(t *testing.T) {
+	got := run(t, `
+func sum(n int) int {
+	if (n == 0) { return 0; }
+	return n + sum(n - 1);
+}
+func main() { print(sum(500)); }`)
+	expectLines(t, got, "125250")
+}
+
+func TestMutualRecursion(t *testing.T) {
+	got := run(t, `
+func isEven(n int) int {
+	if (n == 0) { return 1; }
+	return isOdd(n - 1);
+}
+func isOdd(n int) int {
+	if (n == 0) { return 0; }
+	return isEven(n - 1);
+}
+func main() {
+	print(isEven(10));
+	print(isOdd(7));
+}`)
+	expectLines(t, got, "1", "1")
+}
+
+func TestStrBuildingLoop(t *testing.T) {
+	got := run(t, `
+func main() {
+	var s str = "";
+	for (var i int = 0; i < 5; i = i + 1) {
+		s = s + itoa(i) + ",";
+	}
+	print(s);
+	print(len(s));
+	// charat/substr round the string
+	var out str = "";
+	for (var i int = len(s) - 1; i >= 0; i = i - 1) {
+		out = out + chr(charat(s, i));
+	}
+	print(out);
+}`)
+	expectLines(t, got, "0,1,2,3,4,", "10", ",4,3,2,1,0")
+}
+
+func TestThreadFanOut(t *testing.T) {
+	got := run(t, `
+class Sum { v int; }
+var total Sum;
+func worker(n int) {
+	lock (total) { total.v = total.v + n; }
+}
+func main() {
+	total = new Sum;
+	var ts []thread = new [8]thread;
+	for (var i int = 0; i < 8; i = i + 1) {
+		ts[i] = spawn worker(i + 1);
+	}
+	for (var i int = 0; i < 8; i = i + 1) {
+		join(ts[i]);
+	}
+	print(total.v);
+}`)
+	expectLines(t, got, "36")
+}
+
+func TestSyntaxErrorsHaveLines(t *testing.T) {
+	cases := []string{
+		"func main() { var x int = ; }",
+		"func main() { if true { } }", // missing parens
+		"func main() { lock x { } }",
+		"class C { x }",                // missing type
+		"func main() { y = 1 }",        // missing semicolon
+		"func main() { \"unterminated", // lexer error
+	}
+	for i, src := range cases {
+		_, err := Compile("bad", src)
+		if err == nil {
+			t.Fatalf("case %d compiled", i)
+		}
+		if !strings.Contains(err.Error(), "line") {
+			t.Fatalf("case %d error lacks a line number: %v", i, err)
+		}
+	}
+}
+
+func TestYieldStatement(t *testing.T) {
+	got := run(t, `
+class Flag { done int; }
+var f Flag;
+func setter() {
+	f.done = 1;
+}
+func main() {
+	f = new Flag;
+	var t thread = spawn setter();
+	while (f.done == 0) {
+		yield;
+	}
+	join(t);
+	print("saw flag");
+}`)
+	expectLines(t, got, "saw flag")
+}
+
+func TestHaltStopsProgram(t *testing.T) {
+	got := run(t, `
+func main() {
+	print("before");
+	halt;
+	print("after");
+}`)
+	expectLines(t, got, "before")
+}

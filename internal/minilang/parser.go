@@ -1,0 +1,687 @@
+package minilang
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) is(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	if p.is(text) {
+		return p.next(), nil
+	}
+	return token{}, errAt(p.cur().line, "expected %q, found %s", text, p.cur())
+}
+
+func (p *parser) ident() (token, error) {
+	if p.cur().kind == tokIdent {
+		return p.next(), nil
+	}
+	return token{}, errAt(p.cur().line, "expected identifier, found %s", p.cur())
+}
+
+func (p *parser) program() (*program, error) {
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.is("class"):
+			c, err := p.classDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.classes = append(prog.classes, c)
+		case p.is("func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		case p.is("var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		default:
+			return nil, errAt(p.cur().line, "expected class, func or var, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+// typeName parses a type: int | float | str | thread | []T | ClassName.
+func (p *parser) typeName() (*Type, error) {
+	t := p.cur()
+	switch {
+	case p.accept("int"):
+		return tInt, nil
+	case p.accept("float"):
+		return tFloat, nil
+	case p.accept("str"):
+		return tStr, nil
+	case p.accept("thread"):
+		return tThread, nil
+	case p.accept("["):
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TypeArray, Elem: elem}, nil
+	case t.kind == tokIdent:
+		p.next()
+		return &Type{Kind: TypeClass, Class: t.text}, nil
+	default:
+		return nil, errAt(t.line, "expected a type, found %s", t)
+	}
+}
+
+func (p *parser) classDecl() (*classDecl, error) {
+	kw := p.next() // class
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	c := &classDecl{name: name.text, line: kw.line}
+	for !p.accept("}") {
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ftyp, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		c.fields = append(c.fields, param{name: fname.text, typ: ftyp})
+	}
+	return c, nil
+}
+
+func (p *parser) globalDecl() (*globalDecl, error) {
+	kw := p.next() // var
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name.text, typ: typ, line: kw.line}
+	if p.accept("=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		g.init = e
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	kw := p.next() // func
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name.text, ret: tVoid, line: kw.line}
+	for !p.accept(")") {
+		if len(f.params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ptyp, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, param{name: pname.text, typ: ptyp})
+	}
+	if !p.is("{") {
+		ret, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		f.ret = ret
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is("var"):
+		s, err := p.varStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(";")
+		return s, err
+	case p.is("if"):
+		return p.ifStmt()
+	case p.is("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case p.is("for"):
+		return p.forStmt()
+	case p.is("return"):
+		p.next()
+		s := &returnStmt{line: t.line}
+		if !p.is(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.value = e
+		}
+		_, err := p.expect(";")
+		return s, err
+	case p.is("break"):
+		p.next()
+		_, err := p.expect(";")
+		return &breakStmt{line: t.line}, err
+	case p.is("continue"):
+		p.next()
+		_, err := p.expect(";")
+		return &continueStmt{line: t.line}, err
+	case p.is("halt"):
+		p.next()
+		_, err := p.expect(";")
+		return &haltStmt{line: t.line}, err
+	case p.is("yield"):
+		p.next()
+		if p.accept("(") {
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(";")
+		return &yieldStmt{line: t.line}, err
+	case p.is("lock"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		obj, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &lockStmt{obj: obj, body: body, line: t.line}, nil
+	case p.is("{"):
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &blockStmt{body: body, line: t.line}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(";")
+		return s, err
+	}
+}
+
+// simpleStmt parses an assignment or expression statement (no semicolon).
+func (p *parser) simpleStmt() (stmt, error) {
+	t := p.cur()
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		switch e.(type) {
+		case *identExpr, *fieldExpr, *indexExpr:
+		default:
+			return nil, errAt(t.line, "invalid assignment target")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{target: e, value: v, line: t.line}, nil
+	}
+	return &exprStmt{e: e, line: t.line}, nil
+}
+
+func (p *parser) varStmt() (*varStmt, error) {
+	kw := p.next() // var
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &varStmt{name: name.text, line: kw.line}
+	if !p.is("=") {
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		s.typ = typ
+	}
+	if p.accept("=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.init = e
+	}
+	if s.typ == nil && s.init == nil {
+		return nil, errAt(kw.line, "var %s needs a type or an initializer", s.name)
+	}
+	return s, nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	kw := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then, line: kw.line}
+	if p.accept("else") {
+		if p.is("if") {
+			alt, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.alt = []stmt{alt}
+		} else {
+			alt, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.alt = alt
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	kw := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	s := &forStmt{line: kw.line}
+	if !p.is(";") {
+		var err error
+		if p.is("var") {
+			s.init, err = p.varStmt()
+		} else {
+			s.init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.cond = cond
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.post = post
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.body = body
+	return s, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or:   and ("||" and)*
+//	and:  cmp ("&&" cmp)*
+//	cmp:  bitor (("=="|"!="|"<"|"<="|">"|">=") bitor)?
+//	bitor: bitxor ("|" bitxor)*      bitxor: bitand ("^" bitand)*
+//	bitand: shift ("&" shift)*      shift: add (("<<"|">>") add)*
+//	add:  mul (("+"|"-") mul)*       mul: unary (("*"|"/"|"%") unary)*
+//	unary: ("-"|"!") unary | postfix
+//	postfix: primary ("." ident | "[" expr "]")*
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) binLevel(ops []string, sub func() (expr, error)) (expr, error) {
+	x, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.is(op) {
+				t := p.next()
+				y, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				x = &binExpr{op: op, x: x, y: y, line: t.line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (expr, error) {
+	return p.binLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *parser) andExpr() (expr, error) {
+	return p.binLevel([]string{"&&"}, p.cmpExpr)
+}
+
+func (p *parser) cmpExpr() (expr, error) {
+	x, err := p.bitOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.is(op) {
+			t := p.next()
+			y, err := p.bitOrExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &binExpr{op: op, x: x, y: y, line: t.line}, nil
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) bitOrExpr() (expr, error) {
+	return p.binLevel([]string{"|"}, p.bitXorExpr)
+}
+
+func (p *parser) bitXorExpr() (expr, error) {
+	return p.binLevel([]string{"^"}, p.bitAndExpr)
+}
+
+func (p *parser) bitAndExpr() (expr, error) {
+	return p.binLevel([]string{"&"}, p.shiftExpr)
+}
+
+func (p *parser) shiftExpr() (expr, error) {
+	return p.binLevel([]string{"<<", ">>"}, p.addExpr)
+}
+
+func (p *parser) addExpr() (expr, error) {
+	return p.binLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	return p.binLevel([]string{"*", "/", "%"}, p.unaryExprP)
+}
+
+func (p *parser) unaryExprP() (expr, error) {
+	t := p.cur()
+	if p.accept("-") {
+		x, err := p.unaryExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "-", x: x, line: t.line}, nil
+	}
+	if p.accept("!") {
+		x, err := p.unaryExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "!", x: x, line: t.line}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.is("."):
+			t := p.next()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			x = &fieldExpr{x: x, name: name.text, line: t.line}
+		case p.is("["):
+			t := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{x: x, idx: idx, line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return &intLit{v: t.i, line: t.line}, nil
+	case t.kind == tokFloat:
+		p.next()
+		return &floatLit{v: t.f, line: t.line}, nil
+	case t.kind == tokStr:
+		p.next()
+		return &strLit{v: t.text, line: t.line}, nil
+	case p.accept("true"):
+		return &intLit{v: 1, line: t.line}, nil
+	case p.accept("false"):
+		return &intLit{v: 0, line: t.line}, nil
+	case p.accept("null"):
+		return &nullLit{line: t.line}, nil
+	case p.accept("("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.is("new"):
+		return p.newExpr()
+	case p.is("spawn"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &spawnExpr{name: name.text, args: args, line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.is("(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &callExpr{name: t.text, args: args, line: t.line}, nil
+		}
+		return &identExpr{name: t.text, line: t.line}, nil
+	case t.kind == tokKeyword && (t.text == "int" || t.text == "float" || t.text == "str"):
+		// Conversion calls: int(x), float(x), str(x).
+		p.next()
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &callExpr{name: t.text, args: args, line: t.line}, nil
+	default:
+		return nil, errAt(t.line, "unexpected %s in expression", t)
+	}
+}
+
+func (p *parser) callArgs() ([]expr, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []expr
+	for !p.accept(")") {
+		if len(args) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+// newExpr: "new" ClassName | "new" "[" expr "]" elemType
+func (p *parser) newExpr() (expr, error) {
+	kw := p.next() // new
+	if p.accept("[") {
+		size, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		return &newExpr{typ: &Type{Kind: TypeArray, Elem: elem}, size: size, line: kw.line}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &newExpr{typ: &Type{Kind: TypeClass, Class: name.text}, line: kw.line}, nil
+}
+
+var _ = fmt.Sprintf

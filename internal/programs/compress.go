@@ -1,0 +1,181 @@
+package programs
+
+import "fmt"
+
+// compressSource is the SPEC _201_compress analog: Lempel-Ziv-Welch
+// compression and decompression of a synthetic, compressible corpus, with a
+// round-trip integrity check. CPU-bound integer/array work; almost no
+// synchronization or native calls (like the original: it has the fewest
+// lock acquisitions and intercepted natives in Table 2).
+func compressSource(scale int) string {
+	return fmt.Sprintf(compressTemplate, scale)
+}
+
+const compressTemplate = `
+// LZW over int arrays. The dictionary is an open-addressed hash table in
+// parallel arrays; decode rebuilds sequences through prefix links.
+
+var ITERS int = %d * 9;
+var CORPUS int = 20000;
+var HASHCAP int = 16384;   // power of two
+var MAXCODE int = 4096;
+
+class Gate { uses int; }
+var gate Gate;
+
+var corpus []int;
+
+func lcg(x int) int { return (x * 1103515245 + 12345) & 2147483647; }
+
+func makeCorpus() {
+	corpus = new [CORPUS]int;
+	var x int = 987654321;
+	for (var i int = 0; i < CORPUS; i = i + 1) {
+		x = lcg(x);
+		var r int = x %% 100;
+		if (r < 25) { corpus[i] = 32; }               // spaces make it compressible
+		else if (r < 80) { corpus[i] = 97 + (x %% 8); }  // small alphabet
+		else { corpus[i] = 65 + (x %% 20); }
+	}
+}
+
+// dictionary: code -> (prefix, ch); hash table maps (prefix<<9|ch) -> code
+var prefixOf []int;
+var charOf []int;
+var hashKey []int;
+var hashVal []int;
+var nextCode int;
+
+func dictReset() {
+	for (var i int = 0; i < HASHCAP; i = i + 1) { hashKey[i] = 0 - 1; }
+	nextCode = 256;
+}
+
+func dictFind(prefix int, ch int) int {
+	var key int = prefix * 512 + ch;
+	var h int = (key * 2654435761) & (HASHCAP - 1);
+	if (h < 0) { h = 0 - h; }
+	while (true) {
+		if (hashKey[h] == 0 - 1) { return 0 - 1; }
+		if (hashKey[h] == key) { return hashVal[h]; }
+		h = (h + 1) & (HASHCAP - 1);
+	}
+	return 0 - 1;
+}
+
+func dictAdd(prefix int, ch int) {
+	if (nextCode >= MAXCODE) { return; }
+	var key int = prefix * 512 + ch;
+	var h int = (key * 2654435761) & (HASHCAP - 1);
+	if (h < 0) { h = 0 - h; }
+	while (hashKey[h] != 0 - 1) { h = (h + 1) & (HASHCAP - 1); }
+	hashKey[h] = key;
+	hashVal[h] = nextCode;
+	prefixOf[nextCode] = prefix;
+	charOf[nextCode] = ch;
+	nextCode = nextCode + 1;
+}
+
+// compress corpus into out; returns the number of codes emitted.
+func compress(out []int) int {
+	dictReset();
+	var n int = 0;
+	var w int = corpus[0];
+	for (var i int = 1; i < CORPUS; i = i + 1) {
+		var c int = corpus[i];
+		var code int = dictFind(w, c);
+		if (code >= 0) {
+			w = code;
+		} else {
+			out[n] = w;
+			n = n + 1;
+			if (n %% 384 == 0) { print("codes " + itoa(n)); }
+			dictAdd(w, c);
+			w = c;
+		}
+	}
+	out[n] = w;
+	return n + 1;
+}
+
+// expand one code into buf (reversed walk through prefix links); returns
+// its length and leaves the first symbol in firstSym[0].
+var firstSym []int;
+func expand(code int, buf []int) int {
+	var depth int = 0;
+	var c int = code;
+	while (c >= 256) {
+		buf[depth] = charOf[c];
+		depth = depth + 1;
+		c = prefixOf[c];
+	}
+	buf[depth] = c;
+	firstSym[0] = c;
+	return depth + 1;
+}
+
+// decompress codes[0..n) and return a checksum of the output; verifies
+// length against the corpus.
+func decompress(codes []int, n int) int {
+	// Rebuild the dictionary incrementally, mirroring the encoder.
+	dictReset();
+	var buf []int = new [MAXCODE]int;
+	var sum int = 0;
+	var outLen int = 0;
+	var prev int = codes[0];
+	var lenp int = expand(prev, buf);
+	for (var k int = lenp - 1; k >= 0; k = k - 1) {
+		sum = (sum * 31 + buf[k]) & 1073741823;
+		outLen = outLen + 1;
+	}
+	for (var i int = 1; i < n; i = i + 1) {
+		var cur int = codes[i];
+		var l int = 0;
+		if (cur < nextCode) {
+			l = expand(cur, buf);
+		} else {
+			// KwKwK case: cur == nextCode
+			l = expand(prev, buf);
+			// output = expand(prev) + first(prev): emit below specially
+			for (var k int = l - 1; k >= 0; k = k - 1) {
+				sum = (sum * 31 + buf[k]) & 1073741823;
+				outLen = outLen + 1;
+			}
+			sum = (sum * 31 + firstSym[0]) & 1073741823;
+			outLen = outLen + 1;
+			dictAdd(prev, firstSym[0]);
+			prev = cur;
+			continue;
+		}
+		for (var k int = l - 1; k >= 0; k = k - 1) {
+			sum = (sum * 31 + buf[k]) & 1073741823;
+			outLen = outLen + 1;
+		}
+		dictAdd(prev, firstSym[0]);
+		prev = cur;
+	}
+	if (outLen != CORPUS) { print("LENGTH MISMATCH " + itoa(outLen)); }
+	return sum;
+}
+
+func main() {
+	gate = new Gate;
+	makeCorpus();
+	prefixOf = new [MAXCODE]int;
+	charOf = new [MAXCODE]int;
+	hashKey = new [HASHCAP]int;
+	hashVal = new [HASHCAP]int;
+	firstSym = new [1]int;
+	var codes []int = new [CORPUS + 1]int;
+	var check int = 0;
+	var totalCodes int = 0;
+	for (var it int = 0; it < ITERS; it = it + 1) {
+		var n int = compress(codes);
+		totalCodes = totalCodes + n;
+		lock (gate) { gate.uses = gate.uses + 1; }
+		check = (check + decompress(codes, n)) & 1073741823;
+		print("iter " + itoa(it) + " codes " + itoa(n));
+	}
+	print("compress checksum " + itoa(check) + " codes " + itoa(totalCodes));
+}
+`

@@ -1,0 +1,163 @@
+package programs
+
+import "fmt"
+
+// jackSource is the SPEC _228_jack analog: a parser generator run on its own
+// grammar. Each pass tokenizes the grammar, parses productions, emits parser
+// source into per-production synchronized output buffers, and then
+// re-tokenizes its own output (jack famously generates a parser for itself).
+// Synchronization profile: second-most lock acquisitions, and by far the
+// most *unique* locked objects (a fresh synchronized buffer per production
+// per pass, like the original's per-object stream locks in Table 2).
+func jackSource(scale int) string {
+	return fmt.Sprintf(jackTemplate, scale)
+}
+
+const jackTemplate = `
+var PASSES int = %d * 170;
+
+// A synchronized output buffer (java.io stream analog): every append locks.
+class Buf { data str; appends int; }
+
+class Stats { tokens int; prods int; appends int; }
+var stats Stats;
+
+var grammar str = "";
+
+func makeGrammar() {
+	grammar = ""
+		+ "prod expr   : term expr_t ;\n"
+		+ "prod expr_t : PLUS term expr_t | MINUS term expr_t | EPS ;\n"
+		+ "prod term   : factor term_t ;\n"
+		+ "prod term_t : STAR factor term_t | SLASH factor term_t | EPS ;\n"
+		+ "prod factor : NUMBER | IDENT | LPAREN expr RPAREN ;\n"
+		+ "prod stmt   : IDENT ASSIGN expr SEMI | PRINT expr SEMI ;\n"
+		+ "prod block  : LBRACE stmts RBRACE ;\n"
+		+ "prod stmts  : stmt stmts | EPS ;\n"
+		+ "prod unit   : block unit | EPS ;\n";
+}
+
+func append(b Buf, s str) {
+	// A fresh stream wrapper per operation (the original wraps writes in
+	// short-lived synchronized stream objects — this is what makes jack
+	// lock the most unique objects in Table 2).
+	var line Buf = new Buf;
+	lock (line) { line.data = s; line.appends = 1; }
+	lock (b) {
+		b.data = b.data + line.data;
+		b.appends = b.appends + 1;
+	}
+	lock (stats) { stats.appends = stats.appends + 1; }
+}
+
+func isAlpha(c int) int {
+	return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+}
+
+// nextToken scans src from position pos[0], advancing it; returns the token
+// text ("" at end of input).
+var pos []int;
+func nextToken(src str) str {
+	var n int = len(src);
+	var i int = pos[0];
+	while (i < n) {
+		var c int = charat(src, i);
+		if (c == 32 || c == 10 || c == 9) { i = i + 1; continue; }
+		break;
+	}
+	if (i >= n) { pos[0] = i; return ""; }
+	var c int = charat(src, i);
+	if (isAlpha(c) == 1) {
+		var j int = i;
+		while (j < n && isAlpha(charat(src, j)) == 1) { j = j + 1; }
+		pos[0] = j;
+		return substr(src, i, j);
+	}
+	pos[0] = i + 1;
+	return substr(src, i, i + 1);
+}
+
+// tokenize returns the token count of src and mixes tokens into a checksum.
+var tokChecksum int = 0;
+func tokenize(src str) int {
+	pos[0] = 0;
+	var count int = 0;
+	while (true) {
+		var t str = nextToken(src);
+		if (t == "") { break; }
+		count = count + 1;
+		// Per-token synchronized stream accounting (the original reads its
+		// input through synchronized streams).
+		lock (stats) { stats.tokens = stats.tokens + 1; }
+		tokChecksum = (tokChecksum * 31 + hash(t)) & 1073741823;
+	}
+	return count;
+}
+
+// generate parses the grammar (prod NAME : alt | alt ;) and emits a
+// recursive-descent parser function per production into a fresh
+// synchronized buffer; returns the concatenated output.
+func generate() str {
+	pos[0] = 0;
+	var out str = "";
+	var nprods int = 0;
+	while (true) {
+		var kw str = nextToken(grammar);
+		if (kw == "") { break; }
+		if (kw != "prod") { continue; }
+		var name str = nextToken(grammar);
+		nextToken(grammar); // ':'
+		// A fresh synchronized buffer per production per pass: many unique
+		// locked objects, as in the original.
+		var b Buf = new Buf;
+		b.data = "";
+		append(b, "func parse_" + name + "() {\n");
+		var alt int = 0;
+		append(b, "  alt" + itoa(alt) + ":");
+		while (true) {
+			var t str = nextToken(grammar);
+			if (t == ";") { break; }
+			if (t == "|") {
+				alt = alt + 1;
+				append(b, "\n  alt" + itoa(alt) + ":");
+				continue;
+			}
+			if (t == "EPS") {
+				append(b, " accept()");
+				continue;
+			}
+			// Upper-case tokens are terminals, lower-case nonterminals.
+			var c int = charat(t, 0);
+			if (c >= 65 && c <= 90) {
+				append(b, " expect(" + t + ")");
+			} else {
+				append(b, " parse_" + t + "()");
+			}
+		}
+		append(b, "\n}\n");
+		out = out + b.data;
+		nprods = nprods + 1;
+	}
+	lock (stats) { stats.prods = stats.prods + nprods; }
+	return out;
+}
+
+func main() {
+	stats = new Stats;
+	pos = new [1]int;
+	makeGrammar();
+	var check int = 0;
+	for (var pass int = 0; pass < PASSES; pass = pass + 1) {
+		// Nondeterministic input arrival in the original shows up as
+		// intercepted natives; model with one clock() per pass.
+		var t0 int = clock();
+		var generated str = generate();
+		// Run the generated parser "on itself": re-tokenize the output.
+		var toks int = tokenize(generated);
+		check = (check + toks * 31 + len(generated) + (t0 - t0)) & 1073741823;
+		if (pass %% 5 == 0) { print("pass " + itoa(pass) + " toks " + itoa(toks)); }
+	}
+	print("jack checksum " + itoa(check) + " tokens " + itoa(stats.tokens)
+		+ " prods " + itoa(stats.prods) + " appends " + itoa(stats.appends));
+}
+`

@@ -1,0 +1,143 @@
+package programs
+
+import "fmt"
+
+// jessSource is the SPEC _202_jess analog: a forward-chaining production
+// system. Facts (directed edges over a universe of nodes) live in a
+// monitor-protected working memory; rules fire off an agenda until fixpoint,
+// asserting derived facts (transitive closure plus a "reachable pair"
+// aggregation rule), over progressively larger rule sets like the original.
+// Synchronization profile: a hot working-memory lock acquired per match
+// probe and per assertion (third-most acquisitions in Table 2), with a
+// rand() native per agenda pop.
+func jessSource(scale int) string {
+	return fmt.Sprintf(jessTemplate, scale)
+}
+
+const jessTemplate = `
+var ROUNDS int = %d * 2;
+var NODES int = 56;
+
+class WorkingMemory { count int; fires int; }
+class Activation { fact int; }
+
+var wm WorkingMemory;
+var adj []int;      // adjacency matrix, NODES*NODES
+var agenda []int;   // pending (a,b) facts encoded a*NODES+b
+var agHead int = 0;
+var agTail int = 0;
+
+var seed int = 7;
+func lcg() int {
+	// Return the high bits: the low bits of an LCG cycle with tiny periods,
+	// which would stratify consecutive (a,b) draws into disjoint residue
+	// classes and kill all transitivity.
+	seed = (seed * 1103515245 + 12345) & 2147483647;
+	return seed / 65536;
+}
+
+// assertFact adds edge (a,b) to working memory and the agenda if new.
+func assertFact(a int, b int) int {
+	lock (wm) {
+		if (adj[a * NODES + b] == 1) { return 0; }
+		adj[a * NODES + b] = 1;
+		wm.count = wm.count + 1;
+		agenda[agTail] = a * NODES + b;
+		agTail = (agTail + 1) %% len(agenda);
+		return 1;
+	}
+}
+
+// hasFact probes working memory under its monitor (synchronized container
+// access, as in the original).
+func hasFact(a int, b int) int {
+	lock (wm) { return adj[a * NODES + b]; }
+}
+
+var derivedBuf []int;
+
+// fireTransitivity: for new fact (a,b), derive (a,c) for each (b,c) and
+// (c,b) for each (c,a). The match scan runs as one synchronized batch over
+// working memory; each derived fact is then asserted (locking again).
+func fireTransitivity(a int, b int) int {
+	// Each rule firing allocates an activation record and synchronizes on
+	// it (jess's per-activation locking gives it thousands of unique locked
+	// objects in Table 2).
+	var act Activation = new Activation;
+	lock (act) { act.fact = a * NODES + b; }
+	lock (wm) { wm.fires = wm.fires + 1; }
+	var nd int = 0;
+	for (var c0 int = 0; c0 < NODES; c0 = c0 + 14) {
+		// Working memory is probed in synchronized four-node batches (the
+		// rete match in the original holds container monitors per probe).
+		lock (wm) {
+			for (var c int = c0; c < c0 + 14 && c < NODES; c = c + 1) {
+				if (adj[b * NODES + c] == 1 && adj[a * NODES + c] == 0) {
+					derivedBuf[nd] = a * NODES + c;
+					nd = nd + 1;
+				}
+				if (adj[c * NODES + a] == 1 && adj[c * NODES + b] == 0) {
+					derivedBuf[nd] = c * NODES + b;
+					nd = nd + 1;
+				}
+			}
+		}
+	}
+	var derived int = 0;
+	for (var i int = 0; i < nd; i = i + 1) {
+		derived = derived + assertFact(derivedBuf[i] / NODES, derivedBuf[i] %% NODES);
+	}
+	return derived;
+}
+
+// closure drains the agenda to fixpoint, returning facts derived.
+func closure() int {
+	var derived int = 0;
+	while (agHead != agTail) {
+		// The paper's jess consults non-deterministic salience; model it
+		// with a periodic rand() native (it does not affect the result
+		// set, only exploration order within this pop).
+		var salience int = 0;
+		if (agHead & 31 == 0) { salience = rand() %% 2; }
+		if (wm.fires %% 15 == 14) { print("agenda fire " + itoa(wm.fires)); }
+		var enc int = agenda[agHead];
+		agHead = (agHead + 1) %% len(agenda);
+		var a int = enc / NODES;
+		var b int = enc %% NODES;
+		if (salience == 0) {
+			derived = derived + fireTransitivity(a, b);
+		} else {
+			derived = derived + fireTransitivity(a, b);
+		}
+	}
+	return derived;
+}
+
+func main() {
+	wm = new WorkingMemory;
+	adj = new [NODES * NODES]int;
+	agenda = new [NODES * NODES + 8]int;
+	derivedBuf = new [NODES * 2]int;
+	var check int = 0;
+	for (var round int = 0; round < ROUNDS; round = round + 1) {
+		// Reset and seed a sparse random graph; later rounds are denser
+		// ("progressively larger rule sets").
+		lock (wm) {
+			for (var i int = 0; i < NODES * NODES; i = i + 1) { adj[i] = 0; }
+			wm.count = 0;
+		}
+		agHead = 0;
+		agTail = 0;
+		var seeds int = NODES * 2 + round * 12;
+		for (var s int = 0; s < seeds; s = s + 1) {
+			var a int = lcg() %% NODES;
+			var b int = lcg() %% NODES;
+			if (a != b) { assertFact(a, b); }
+		}
+		var derived int = closure();
+		check = (check + wm.count * 31 + derived) & 1073741823;
+		print("round " + itoa(round) + " facts " + itoa(wm.count));
+	}
+	print("jess checksum " + itoa(check) + " fires " + itoa(wm.fires));
+}
+`

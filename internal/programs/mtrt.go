@@ -1,0 +1,144 @@
+package programs
+
+import "fmt"
+
+// mtrtSource is the SPEC _227_mtrt analog: the suite's only multi-threaded
+// benchmark. Two worker threads render a sphere scene, pulling row chunks
+// from a monitor-protected work queue and folding per-chunk results into a
+// shared accumulator — so it is the only workload that produces thread
+// reschedules and scheduling records (Table 2's last row), while its lock
+// count stays moderate.
+func mtrtSource(scale int) string {
+	return fmt.Sprintf(mtrtTemplate, scale)
+}
+
+const mtrtTemplate = `
+var WIDTH int = %d * 320;
+var HEIGHT int = 160;
+var NSPHERES int = 6;
+var WORKERS int = 2;
+
+class Queue { next int; grabs int; }
+class Accum { sum int; rows int; }
+
+var queue Queue;
+var accum Accum;
+
+// Scene: spheres as parallel arrays plus one light.
+var cx []float;
+var cy []float;
+var cz []float;
+var rad []float;
+var shade []float;
+var lightX float = 0.0;
+var lightY float = 0.0;
+var lightZ float = 0.0;
+
+func buildScene() {
+	cx = new [NSPHERES]float;
+	cy = new [NSPHERES]float;
+	cz = new [NSPHERES]float;
+	rad = new [NSPHERES]float;
+	shade = new [NSPHERES]float;
+	for (var i int = 0; i < NSPHERES; i = i + 1) {
+		var fi float = float(i);
+		cx[i] = sin(fi * 1.7) * 3.0;
+		cy[i] = cos(fi * 2.3) * 2.0;
+		cz[i] = 8.0 + fi * 2.0;
+		rad[i] = 1.0 + 0.3 * float(i %% 3);
+		shade[i] = 0.3 + 0.1 * fi;
+	}
+	lightX = 0.0 - 5.0;
+	lightY = 5.0;
+	lightZ = 0.0;
+}
+
+// traceRay casts a primary ray through pixel (px,py) and returns a shaded
+// intensity in [0,255] (0 = background).
+func traceRay(px int, py int) int {
+	// Camera at origin looking down +z; simple pinhole projection.
+	var dx float = (float(px) / float(WIDTH) - 0.5) * 2.0;
+	var dy float = (float(py) / float(HEIGHT) - 0.5) * 1.5;
+	var dz float = 1.0;
+	var dlen float = sqrt(dx*dx + dy*dy + dz*dz);
+	dx = dx / dlen;
+	dy = dy / dlen;
+	dz = dz / dlen;
+
+	var bestT float = 1000000.0;
+	var bestI int = 0 - 1;
+	for (var i int = 0; i < NSPHERES; i = i + 1) {
+		// Ray-sphere: |o + t d - c|^2 = r^2 with o = 0.
+		var b float = dx*cx[i] + dy*cy[i] + dz*cz[i];
+		var cc float = cx[i]*cx[i] + cy[i]*cy[i] + cz[i]*cz[i] - rad[i]*rad[i];
+		var disc float = b*b - cc;
+		if (disc > 0.0) {
+			var t float = b - sqrt(disc);
+			if (t > 0.001 && t < bestT) {
+				bestT = t;
+				bestI = i;
+			}
+		}
+	}
+	if (bestI < 0) { return 0; }
+	// Lambert shading from the point light.
+	var hx float = dx * bestT;
+	var hy float = dy * bestT;
+	var hz float = dz * bestT;
+	var nx float = (hx - cx[bestI]) / rad[bestI];
+	var ny float = (hy - cy[bestI]) / rad[bestI];
+	var nz float = (hz - cz[bestI]) / rad[bestI];
+	var lx float = lightX - hx;
+	var ly float = lightY - hy;
+	var lz float = lightZ - hz;
+	var ll float = sqrt(lx*lx + ly*ly + lz*lz);
+	var lambert float = (nx*lx + ny*ly + nz*lz) / ll;
+	if (lambert < 0.0) { lambert = 0.0; }
+	var v float = (shade[bestI] + lambert * 0.7) * 255.0;
+	if (v > 255.0) { v = 255.0; }
+	return int(v);
+}
+
+// worker pulls rows off the shared queue until it is drained.
+func worker(id int) {
+	while (true) {
+		var row int = 0 - 1;
+		lock (queue) {
+			row = queue.next;
+			if (row < HEIGHT) { queue.next = queue.next + 1; }
+			queue.grabs = queue.grabs + 1;
+		}
+		if (row >= HEIGHT) { break; }
+		var rowSum int = 0;
+		for (var px int = 0; px < WIDTH; px = px + 1) {
+			rowSum = (rowSum + traceRay(px, row)) & 1073741823;
+			// Per-pixel progress tick on the shared accumulator — the
+			// fine-grained synchronized access that gives mtrt its lock
+			// volume in the original.
+			if (px %% 8 == 0) {
+				lock (accum) { accum.sum = accum.sum; }
+			}
+		}
+		lock (accum) {
+			accum.sum = (accum.sum + rowSum) & 1073741823;
+			accum.rows = accum.rows + 1;
+		}
+		print("row " + itoa(row) + " by " + itoa(id));
+	}
+}
+
+func main() {
+	buildScene();
+	queue = new Queue;
+	accum = new Accum;
+	// One rand() per run seeds nothing visible (scene is deterministic) but
+	// reproduces the sparse native profile.
+	var nonce int = rand() %% 2;
+	var t1 thread = spawn worker(1);
+	var t2 thread = spawn worker(2);
+	join(t1);
+	join(t2);
+	print("mtrt checksum " + itoa(accum.sum + nonce - nonce)
+		+ " rows " + itoa(accum.rows) + " grabs " + itoa(queue.grabs));
+}
+`

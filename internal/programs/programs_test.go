@@ -1,0 +1,124 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/vm"
+)
+
+// runBench executes a benchmark standalone and returns console + stats.
+func runBench(t *testing.T, name string, scale int, seed int64) ([]string, vm.Stats) {
+	t.Helper()
+	prog, err := Compile(name, scale)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	e := env.New(11)
+	v, err := vm.New(vm.Config{
+		Program:         prog,
+		Env:             e,
+		Coordinator:     vm.NewDefaultCoordinator(vm.NewSeededPolicy(seed, 1024, 8192)),
+		MaxInstructions: 2_000_000_000,
+	})
+	if err != nil {
+		t.Fatalf("vm %s: %v", name, err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return e.Console().Lines(), v.Stats()
+}
+
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			lines, st := runBench(t, b.Name, 1, 1)
+			if len(lines) == 0 {
+				t.Fatal("no console output")
+			}
+			final := lines[len(lines)-1]
+			if !strings.Contains(final, b.Name) && !strings.Contains(final, "checksum") &&
+				!strings.Contains(final, "energy") {
+				t.Fatalf("unexpected final line %q", final)
+			}
+			t.Logf("%s: %d instrs, %d locks, %d objects, largest l_asn %d, %d natives, %d resched",
+				b.Name, st.Instructions, st.LocksAcquired, st.ObjectsLocked,
+				st.LargestLASN, st.NMIntercepted, st.Reschedules)
+			if b.MultiThreaded && st.ThreadsSpawned == 0 {
+				t.Error("multithreaded benchmark spawned no threads")
+			}
+			if !b.MultiThreaded && st.ThreadsSpawned != 0 {
+				t.Error("single-threaded benchmark spawned threads")
+			}
+		})
+	}
+}
+
+// TestChecksumsScheduleInvariant: the final checksum line must not depend on
+// the scheduling seed (a prerequisite for the replication experiments).
+func TestChecksumsScheduleInvariant(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			l1, _ := runBench(t, b.Name, 1, 1)
+			l2, _ := runBench(t, b.Name, 1, 999)
+			f1, f2 := l1[len(l1)-1], l2[len(l2)-1]
+			if f1 != f2 {
+				t.Fatalf("final line depends on schedule:\n seed 1:   %q\n seed 999: %q", f1, f2)
+			}
+		})
+	}
+}
+
+// TestRelativeLockProfile pins the Table 2 shape: db ≫ jack > jess > mtrt ≫
+// mpegaudio > compress in lock acquisitions; jack locks the most unique
+// objects; only mtrt reschedules.
+func TestRelativeLockProfile(t *testing.T) {
+	stats := make(map[string]vm.Stats)
+	for _, b := range All() {
+		_, st := runBench(t, b.Name, 1, 1)
+		stats[b.Name] = st
+	}
+	order := []string{"db", "jack", "jess", "mtrt", "mpegaudio", "compress"}
+	for i := 0; i+1 < len(order); i++ {
+		a, b := order[i], order[i+1]
+		if stats[a].LocksAcquired <= stats[b].LocksAcquired {
+			t.Errorf("locks(%s)=%d should exceed locks(%s)=%d",
+				a, stats[a].LocksAcquired, b, stats[b].LocksAcquired)
+		}
+	}
+	for name, st := range stats {
+		if name == "mtrt" {
+			if st.Reschedules == 0 {
+				t.Error("mtrt should reschedule")
+			}
+			continue
+		}
+		// Single-threaded workloads never switch threads (only the main
+		// thread exists), hence zero reschedules as in Table 2.
+		if st.Reschedules != 0 {
+			t.Errorf("%s rescheduled %d times, want 0", name, st.Reschedules)
+		}
+	}
+	if stats["jack"].ObjectsLocked <= stats["db"].ObjectsLocked {
+		t.Errorf("jack should lock the most unique objects: jack=%d db=%d",
+			stats["jack"].ObjectsLocked, stats["db"].ObjectsLocked)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	_, s1 := runBench(t, "compress", 1, 1)
+	_, s2 := runBench(t, "compress", 2, 1)
+	if s2.Instructions <= s1.Instructions {
+		t.Fatalf("scale 2 (%d instrs) should exceed scale 1 (%d)", s2.Instructions, s1.Instructions)
+	}
+}

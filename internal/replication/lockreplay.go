@@ -1,0 +1,194 @@
+package replication
+
+import (
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/sehandler"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// lockReplay is the backup-side coordinator for replicated lock acquisition
+// (§4.2): the backup's threads are scheduled by the backup's own policy (a
+// different interleaving than the primary's), but every monitor acquisition
+// is gated until its recorded turn — (t_id, t_asn) must match the next
+// record for the thread and the lock's acquire sequence number must equal
+// the recorded l_asn. Virtual lock ids are reproduced through the logged id
+// maps; threads acquiring a not-yet-identified lock wait until the map is
+// matched or, when no maps remain, assign a fresh id (end-of-recovery rule).
+type lockReplay struct {
+	policy  vm.SchedPolicy
+	nr      *nativeReplay
+	a       *analysis
+	lidNext int64
+
+	// GatedWakeups counts threads admitted by Poll (recovery diagnostics).
+	GatedWakeups uint64
+}
+
+var _ vm.Coordinator = (*lockReplay)(nil)
+
+func newLockReplay(a *analysis, handlers *sehandler.Set, policy vm.SchedPolicy) *lockReplay {
+	if policy == nil {
+		policy = vm.NewSeededPolicy(0x6261636b7570, 1024, 8192) // distinct default seed
+	}
+	return &lockReplay{
+		policy: policy,
+		nr:     newNativeReplay(a, handlers),
+		a:      a,
+	}
+}
+
+// recoveryDone reports whether every logged event has been consumed.
+func (c *lockReplay) recoveryDone() bool {
+	return c.a.lockPending == 0 && c.a.idmapPending == 0 && c.nr.drained()
+}
+
+// head returns t's next recorded acquisition, if any.
+func (c *lockReplay) head(t *vm.Thread) (*wire.LockAcq, bool) {
+	q := c.a.lockQ[t.VTID]
+	if len(q) == 0 {
+		return nil, false
+	}
+	return q[0], true
+}
+
+// canAcquire evaluates — without consuming anything — whether t's pending
+// acquisition of m may proceed now. It implements the waiting rules of §4.2.
+func (c *lockReplay) canAcquire(t *vm.Thread, m *vm.Monitor) (bool, error) {
+	rec, ok := c.head(t)
+	if !ok {
+		// No record for this acquisition: either the primary never got here
+		// (cold recovery: wait for the global drain, then run free — "end
+		// of recovery at the backup") or, while the log is open, the record
+		// simply has not arrived yet.
+		return c.a.lockPending == 0 && c.a.idmapPending == 0 && !c.a.open, nil
+	}
+	if rec.TASN != t.TASN {
+		return false, divergence("thread %s at t_asn %d, log head has t_asn %d", t.VTID, t.TASN, rec.TASN)
+	}
+	if m.LID < 0 {
+		// The lock has no id yet at the backup.
+		if im, ok := c.a.idmaps[t.VTID][t.TASN]; ok {
+			// This thread performed the first-ever acquisition at the
+			// primary: it may proceed and will assign im.LID itself.
+			if im.LID != rec.LID {
+				return false, divergence("thread %s t_asn %d: id map lid %d != record lid %d",
+					t.VTID, t.TASN, im.LID, rec.LID)
+			}
+			return true, nil
+		}
+		// Another thread assigns this lock's id; wait until it does (the
+		// monitor's LID becomes >= 0) or no id maps remain (and none can
+		// arrive).
+		return c.a.idmapPending == 0 && !c.a.open, nil
+	}
+	if rec.LID != m.LID {
+		return false, divergence("thread %s t_asn %d: acquiring lid %d, log says lid %d",
+			t.VTID, t.TASN, m.LID, rec.LID)
+	}
+	if m.LASN > rec.LASN {
+		return false, divergence("lid %d overshoot: l_asn %d past recorded %d", m.LID, m.LASN, rec.LASN)
+	}
+	return m.LASN == rec.LASN, nil
+}
+
+// PickNext implements vm.Coordinator: the backup schedules with its own
+// policy; only the gates make the lock order agree with the primary.
+func (c *lockReplay) PickNext(_ *vm.VM, runnable []*vm.Thread, cur *vm.Thread) (*vm.Thread, vm.SliceTarget, error) {
+	t := c.policy.Next(runnable, cur)
+	return t, vm.BudgetTarget(t, c.policy.Quantum()), nil
+}
+
+// OnDescheduled implements vm.Coordinator.
+func (c *lockReplay) OnDescheduled(*vm.VM, *vm.Thread, *vm.Thread) error { return nil }
+
+// BeforeAcquire implements vm.Coordinator.
+func (c *lockReplay) BeforeAcquire(_ *vm.VM, t *vm.Thread, m *vm.Monitor) (bool, error) {
+	return c.canAcquire(t, m)
+}
+
+// AssignLID implements vm.Coordinator: reproduce the primary's assignment
+// through the id map, or mint a fresh id once no maps remain.
+func (c *lockReplay) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bool, error) {
+	if im, ok := c.a.idmaps[t.VTID][t.TASN]; ok {
+		delete(c.a.idmaps[t.VTID], t.TASN)
+		c.a.idmapPending--
+		return im.LID, true, nil
+	}
+	if c.a.idmapPending > 0 || c.a.open {
+		// Defensive: BeforeAcquire should have gated this thread.
+		return 0, false, nil
+	}
+	if c.lidNext <= c.a.maxLID {
+		c.lidNext = c.a.maxLID
+	}
+	c.lidNext++
+	return c.lidNext, true, nil
+}
+
+// OnAcquired implements vm.Coordinator: consume and cross-check the
+// acquisition record.
+func (c *lockReplay) OnAcquired(_ *vm.VM, t *vm.Thread, m *vm.Monitor) error {
+	rec, ok := c.head(t)
+	if !ok {
+		return nil // this thread ran past its logged acquisitions (live)
+	}
+	if rec.TASN != t.TASN {
+		return divergence("thread %s acquired at t_asn %d, log head has t_asn %d", t.VTID, t.TASN, rec.TASN)
+	}
+	if rec.LID != m.LID || rec.LASN != m.LASN {
+		return divergence("thread %s t_asn %d acquired lid %d l_asn %d, log says lid %d l_asn %d",
+			t.VTID, t.TASN, m.LID, m.LASN, rec.LID, rec.LASN)
+	}
+	c.a.lockQ[t.VTID] = c.a.lockQ[t.VTID][1:]
+	c.a.lockPending--
+	return nil
+}
+
+// NativeReady implements vm.Coordinator: gate intercepted natives whose
+// records have not arrived yet (warm backup).
+func (c *lockReplay) NativeReady(_ *vm.VM, t *vm.Thread, _ *native.Def) bool {
+	return c.nr.ready(t)
+}
+
+// InvokeNative implements vm.Coordinator.
+func (c *lockReplay) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
+	return c.nr.invoke(v, t, def, args)
+}
+
+// Poll implements vm.Coordinator: admit gated threads whose recorded turn
+// has arrived.
+func (c *lockReplay) Poll(v *vm.VM) (bool, error) {
+	progress := false
+	for _, t := range v.Threads() {
+		if t.State() != vm.StateGated {
+			continue
+		}
+		m := t.BlockedOn()
+		var ok bool
+		var err error
+		if m == nil {
+			// Gated before an intercepted native call (warm backup).
+			ok = c.nr.ready(t)
+		} else {
+			ok, err = c.canAcquire(t, m)
+		}
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			v.Ungate(t)
+			c.GatedWakeups++
+			progress = true
+		}
+	}
+	return progress, nil
+}
+
+// OnIdle implements vm.Coordinator: Poll already ran this iteration, so an
+// idle scheduler means genuine deadlock (or divergence).
+func (c *lockReplay) OnIdle(*vm.VM) (bool, error) { return false, nil }
+
+// OnHalt implements vm.Coordinator.
+func (c *lockReplay) OnHalt(*vm.VM, error) error { return nil }

@@ -1,0 +1,178 @@
+package replication
+
+import (
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/sehandler"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// nativeReplay is the backup-side native-method machinery shared by both
+// replay coordinators (§4.1): it feeds logged results to the program,
+// re-invokes natives that must reproduce volatile output, and gives the
+// uncertain final output exactly-once semantics via the handler's test
+// method (§4.4). Side-effect handler state was already accumulated by the
+// serve loop (the paper's receive method runs when log state arrives) and
+// volatile environment state was rebuilt by restore before replay began.
+type nativeReplay struct {
+	handlers *sehandler.Set
+	a        *analysis
+
+	// Recovery counters for the harness/tests.
+	FedResults  uint64
+	Reinvoked   uint64
+	SkippedOuts uint64
+	TestedOuts  uint64
+	LiveInvokes uint64
+}
+
+func newNativeReplay(a *analysis, handlers *sehandler.Set) *nativeReplay {
+	return &nativeReplay{handlers: handlers, a: a}
+}
+
+func (nr *nativeReplay) ctx(v *vm.VM) sehandler.Ctx {
+	return sehandler.Ctx{Heap: v.Heap(), Env: v.Environment(), Proc: v.Process()}
+}
+
+// drained reports whether every logged native event has been consumed and
+// no more can arrive.
+func (nr *nativeReplay) drained() bool { return nr.a.nativePending == 0 && !nr.a.open }
+
+func (nr *nativeReplay) consume(tid string) {
+	nr.a.nativeQ[tid] = nr.a.nativeQ[tid][1:]
+	nr.a.nativePending--
+}
+
+// ready reports whether t's next intercepted native invocation can proceed
+// now. While the log is still open (warm backup), an empty queue means
+// "wait for the primary's record", and the globally-newest record cannot be
+// consumed if it is an output intent — its certainty is not yet known.
+func (nr *nativeReplay) ready(t *vm.Thread) bool {
+	q := nr.a.nativeQ[t.VTID]
+	if len(q) == 0 {
+		return !nr.a.open
+	}
+	if nr.a.open && len(q) == 1 {
+		if intent, ok := q[0].(*wire.OutputIntent); ok && wire.Record(intent) == nr.a.last {
+			return false
+		}
+	}
+	return true
+}
+
+// invoke handles one intercepted native invocation during recovery or live
+// post-recovery execution.
+func (nr *nativeReplay) invoke(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
+	q := nr.a.nativeQ[t.VTID]
+	if len(q) == 0 {
+		// This thread has run past the primary's logged execution: live.
+		nr.LiveInvokes++
+		return v.DirectNative(t, def, args)
+	}
+	switch rec := q[0].(type) {
+	case *wire.OutputIntent:
+		if rec.Sig != def.Sig || rec.NatSeq != t.NatSeq {
+			return nil, divergence("thread %s native #%d is %s, log has %s #%d",
+				t.VTID, t.NatSeq, def.Sig, rec.Sig, rec.NatSeq)
+		}
+		nr.consume(t.VTID)
+		if rec == nr.a.uncertain {
+			return nr.handleUncertain(v, t, def, args, rec)
+		}
+		return nr.handleCertainOutput(v, t, def, args)
+	case *wire.NativeResult:
+		if rec.Sig != def.Sig || rec.NatSeq != t.NatSeq {
+			return nil, divergence("thread %s native #%d is %s, log has %s #%d",
+				t.VTID, t.NatSeq, def.Sig, rec.Sig, rec.NatSeq)
+		}
+		nr.consume(t.VTID)
+		return nr.useLogged(v, t, def, args, rec)
+	default:
+		return nil, divergence("thread %s: unexpected %s record in native queue", t.VTID, q[0].Type())
+	}
+}
+
+// handleCertainOutput processes an output the primary certainly performed
+// (records exist after it in the log).
+func (nr *nativeReplay) handleCertainOutput(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
+	if def.ReinvokeOnReplay {
+		// Idempotent output (e.g. sequence-numbered console writes): replay
+		// it; the environment deduplicates.
+		nr.Reinvoked++
+		if _, err := v.DirectNative(t, def, args); err != nil {
+			return nil, err
+		}
+	} else {
+		nr.SkippedOuts++
+		if def.UsesOutputSeq {
+			v.ConsumeOutputSeq(t)
+		}
+	}
+	if def.NonDeterministic {
+		// The result record follows the intent in this thread's queue (the
+		// VM is single-threaded between commit and result logging).
+		q := nr.a.nativeQ[t.VTID]
+		res, ok := headResult(q)
+		if !ok || res.Sig != def.Sig || res.NatSeq != t.NatSeq {
+			return nil, divergence("thread %s: output %s missing its result record", t.VTID, def.Sig)
+		}
+		nr.consume(t.VTID)
+		return nr.useLogged(v, t, def, args, res)
+	}
+	return nil, nil
+}
+
+func headResult(q []wire.Record) (*wire.NativeResult, bool) {
+	if len(q) == 0 {
+		return nil, false
+	}
+	res, ok := q[0].(*wire.NativeResult)
+	return res, ok
+}
+
+// handleUncertain gives the final, uncertain output exactly-once semantics:
+// testable outputs are checked against the environment; idempotent ones are
+// re-run (§3.4, R5).
+func (nr *nativeReplay) handleUncertain(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value, intent *wire.OutputIntent) ([]heap.Value, error) {
+	performed := false
+	if h := nr.handlers.ForDef(def); h != nil {
+		nr.TestedOuts++
+		var err error
+		performed, err = h.Test(nr.ctx(v), def, args, intent)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if performed && def.Returns == 0 {
+		nr.SkippedOuts++
+		if def.UsesOutputSeq {
+			v.ConsumeOutputSeq(t)
+		}
+		return nil, nil
+	}
+	// Not performed, or a value-returning output whose (idempotent, R5)
+	// re-execution regenerates the result the primary never logged.
+	nr.Reinvoked++
+	return v.DirectNative(t, def, args)
+}
+
+// useLogged adopts the primary's logged results, re-invoking first when the
+// native must reproduce volatile output (discarding what it generates, §4.1).
+func (nr *nativeReplay) useLogged(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value, rec *wire.NativeResult) ([]heap.Value, error) {
+	if def.ReinvokeOnReplay {
+		nr.Reinvoked++
+		if _, err := v.DirectNative(t, def, args); err != nil {
+			return nil, err
+		}
+	}
+	nr.FedResults++
+	results, err := fromWire(v.Heap(), rec.Results)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != def.Returns {
+		return nil, divergence("%s: logged %d results, native returns %d", def.Sig, len(results), def.Returns)
+	}
+	return results, nil
+}

@@ -1,0 +1,414 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/sehandler"
+	"repro/internal/transport"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// PrimaryMetrics decomposes the primary's replication overhead, mirroring
+// Figures 3 and 4: Communication is time spent shipping log frames,
+// Pessimism is time spent waiting for output-commit acknowledgements, and
+// Record is time spent building/storing lock-acquisition or thread-
+// scheduling records ("Lock Acquire Overhead" / "Rescheduling Overhead").
+type PrimaryMetrics struct {
+	Communication time.Duration
+	Pessimism     time.Duration
+	Record        time.Duration
+
+	RecordsLogged   uint64 // "Logged Messages" in Table 2
+	LockRecords     uint64
+	IDMapRecords    uint64
+	SwitchRecords   uint64
+	NativeRecords   uint64
+	OutputIntents   uint64
+	FramesSent      uint64
+	BytesSent       uint64
+	AcksAwaited     uint64
+	HeartbeatsSent  uint64
+	LargestFrameLen int
+}
+
+// PrimaryConfig configures the primary-side coordinator.
+type PrimaryConfig struct {
+	// Mode selects lock-acquisition or thread-scheduling replication.
+	Mode Mode
+	// Endpoint ships log frames to the backup and receives acks (required).
+	Endpoint transport.Endpoint
+	// Handlers are the side-effect handlers (sehandler.DefaultSet if nil).
+	Handlers *sehandler.Set
+	// Policy drives scheduling (seeded random if nil). The backup replays
+	// with its own, different policy — only the log makes them agree.
+	Policy vm.SchedPolicy
+	// FlushEvery batches this many records per frame between output commits
+	// (default 512; the paper buffers small 36-byte messages the same way).
+	FlushEvery int
+	// HeartbeatEvery enables a liveness heartbeat to the backup (0 = off;
+	// with the in-process pipe, endpoint closure already signals failure).
+	HeartbeatEvery time.Duration
+}
+
+// Primary is the vm.Coordinator that turns a VM into the primary replica.
+type Primary struct {
+	mode       Mode
+	ep         transport.Endpoint
+	handlers   *sehandler.Set
+	policy     vm.SchedPolicy
+	flushEvery int
+
+	buf      wire.Buffer
+	frameSeq uint64
+	sendMu   sync.Mutex
+
+	hbStop  chan struct{}
+	hbDone  chan struct{}
+	hbEvery time.Duration
+
+	lidCounter int64
+	metrics    PrimaryMetrics
+	closedDown bool
+
+	// Open logical interval (ModeLockInterval): the thread currently
+	// accumulating consecutive acquisitions, where its run started, and how
+	// many it has performed.
+	intTID   string
+	intStart uint64
+	intCount uint64
+}
+
+var _ vm.Coordinator = (*Primary)(nil)
+
+// NewPrimary builds a primary coordinator.
+func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("primary: nil endpoint")
+	}
+	if cfg.Mode != ModeLock && cfg.Mode != ModeSched && cfg.Mode != ModeLockInterval {
+		return nil, fmt.Errorf("primary: bad mode %d", cfg.Mode)
+	}
+	h := cfg.Handlers
+	if h == nil {
+		h = sehandler.DefaultSet()
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = vm.NewSeededPolicy(1, 1024, 8192)
+	}
+	fe := cfg.FlushEvery
+	if fe <= 0 {
+		fe = 512
+	}
+	p := &Primary{
+		mode:       cfg.Mode,
+		ep:         cfg.Endpoint,
+		handlers:   h,
+		policy:     pol,
+		flushEvery: fe,
+		hbEvery:    cfg.HeartbeatEvery,
+	}
+	if p.hbEvery > 0 {
+		p.hbStop = make(chan struct{})
+		p.hbDone = make(chan struct{})
+		go p.heartbeatLoop()
+	}
+	return p, nil
+}
+
+// Metrics returns a copy of the overhead decomposition.
+func (p *Primary) Metrics() PrimaryMetrics { return p.metrics }
+
+// Handlers returns the side-effect handler set.
+func (p *Primary) Handlers() *sehandler.Set { return p.handlers }
+
+func (p *Primary) heartbeatLoop() {
+	defer close(p.hbDone)
+	ticker := time.NewTicker(p.hbEvery)
+	defer ticker.Stop()
+	var buf wire.Buffer
+	seq := uint64(0)
+	for {
+		select {
+		case <-p.hbStop:
+			return
+		case <-ticker.C:
+			seq++
+			buf.Reset()
+			if err := buf.Append(&wire.Heartbeat{Seq: seq}); err != nil {
+				return
+			}
+			if err := p.sendFrame(buf.Bytes(), false); err != nil {
+				return
+			}
+			p.metrics.HeartbeatsSent++
+		}
+	}
+}
+
+// sendFrame transmits one frame (thread-safe vs heartbeats).
+func (p *Primary) sendFrame(payload []byte, ackWanted bool) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	p.frameSeq++
+	b := wire.EncodeFrame(&wire.Frame{Seq: p.frameSeq, AckWanted: ackWanted, Payload: payload})
+	t0 := time.Now()
+	err := p.ep.Send(b)
+	p.metrics.Communication += time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("ship log frame %d: %w", p.frameSeq, err)
+	}
+	p.metrics.FramesSent++
+	p.metrics.BytesSent += uint64(len(b))
+	if len(b) > p.metrics.LargestFrameLen {
+		p.metrics.LargestFrameLen = len(b)
+	}
+	return nil
+}
+
+// flush ships buffered records; with ack it blocks until the backup has
+// logged everything up to this point (the output-commit pessimism, §3.4).
+func (p *Primary) flush(ack bool) error {
+	if p.buf.Count() == 0 && !ack {
+		return nil
+	}
+	wantSeq := p.frameSeq + 1
+	if err := p.sendFrame(p.buf.Bytes(), ack); err != nil {
+		return err
+	}
+	p.buf.Reset()
+	if !ack {
+		return nil
+	}
+	p.metrics.AcksAwaited++
+	t0 := time.Now()
+	msg, err := p.ep.Recv(0)
+	p.metrics.Pessimism += time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("await ack: %w", err)
+	}
+	seq, err := wire.DecodeAck(msg)
+	if err != nil {
+		return err
+	}
+	if seq < wantSeq {
+		return fmt.Errorf("stale ack %d, want >= %d", seq, wantSeq)
+	}
+	return nil
+}
+
+func (p *Primary) append(r wire.Record) error {
+	return p.appendTimed(r, nil)
+}
+
+// appendTimed buffers a record, charging only the encode/store cost to
+// bucket; a batch flush triggered here is communication, not record time.
+func (p *Primary) appendTimed(r wire.Record, bucket *time.Duration) error {
+	t0 := time.Now()
+	err := p.buf.Append(r)
+	if bucket != nil {
+		*bucket += time.Since(t0)
+	}
+	if err != nil {
+		return err
+	}
+	p.metrics.RecordsLogged++
+	if p.buf.Count() >= p.flushEvery {
+		return p.flush(false)
+	}
+	return nil
+}
+
+// PickNext implements vm.Coordinator.
+func (p *Primary) PickNext(_ *vm.VM, runnable []*vm.Thread, cur *vm.Thread) (*vm.Thread, vm.SliceTarget, error) {
+	t := p.policy.Next(runnable, cur)
+	return t, vm.BudgetTarget(t, p.policy.Quantum()), nil
+}
+
+// OnDescheduled implements vm.Coordinator: in sched mode, log a thread
+// scheduling record (br_cnt, pc_off, mon_cnt, l_asn, next t_id).
+func (p *Primary) OnDescheduled(v *vm.VM, prev, next *vm.Thread) error {
+	if p.mode != ModeSched || prev == nil {
+		return nil
+	}
+	br, methodIdx, pcOff, mon, lasn := snapshotProgress(prev)
+	var chk uint64
+	if v != nil && v.TrackingProgress() {
+		// Read the snapshot the interpreter published after the last
+		// bytecode (the paper's per-bytecode thread-object update).
+		br = prev.Progress.BrCnt
+		methodIdx = prev.Progress.Method
+		pcOff = prev.Progress.PC
+		mon = prev.Progress.MonCnt
+		chk = prev.Progress.Chk
+	}
+	rec := &wire.Switch{
+		TID: prev.VTID, BrCnt: br, MethodIdx: methodIdx, PCOff: pcOff,
+		MonCnt: mon, LASN: lasn, Reason: uint8(prev.State()), Chk: chk, NextTID: next.VTID,
+	}
+	err := p.appendTimed(rec, &p.metrics.Record)
+	p.metrics.SwitchRecords++
+	return err
+}
+
+// BeforeAcquire implements vm.Coordinator (the primary never gates).
+func (p *Primary) BeforeAcquire(*vm.VM, *vm.Thread, *vm.Monitor) (bool, error) { return true, nil }
+
+// AssignLID implements vm.Coordinator: fresh counter, plus an id map record
+// in lock mode so the backup can reproduce the assignment (§4.2). Interval
+// mode needs no id maps: the interval sequence alone determines the
+// acquisition order.
+func (p *Primary) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bool, error) {
+	p.lidCounter++
+	lid := p.lidCounter
+	if p.mode != ModeLock {
+		return lid, true, nil
+	}
+	err := p.appendTimed(&wire.IDMap{LID: lid, TID: t.VTID, TASN: t.TASN}, &p.metrics.Record)
+	p.metrics.IDMapRecords++
+	return lid, true, err
+}
+
+// OnAcquired implements vm.Coordinator: in lock mode, log the acquisition
+// record with the pre-increment sequence numbers; in interval mode, extend
+// or roll the open logical interval.
+func (p *Primary) OnAcquired(_ *vm.VM, t *vm.Thread, m *vm.Monitor) error {
+	switch p.mode {
+	case ModeLock:
+		err := p.appendTimed(&wire.LockAcq{TID: t.VTID, TASN: t.TASN, LID: m.LID, LASN: m.LASN}, &p.metrics.Record)
+		p.metrics.LockRecords++
+		return err
+	case ModeLockInterval:
+		t0 := time.Now()
+		defer func() { p.metrics.Record += time.Since(t0) }()
+		if p.intCount > 0 && p.intTID == t.VTID {
+			p.intCount++
+			return nil
+		}
+		if err := p.closeInterval(); err != nil {
+			return err
+		}
+		p.intTID = t.VTID
+		p.intStart = t.TASN
+		p.intCount = 1
+		return nil
+	default:
+		return nil
+	}
+}
+
+// closeInterval flushes the open logical interval into the log. It must run
+// before any output commit (so recovery can reach the commit point) and at
+// clean shutdown.
+func (p *Primary) closeInterval() error {
+	if p.intCount == 0 {
+		return nil
+	}
+	rec := &wire.LockInterval{TID: p.intTID, StartTASN: p.intStart, Count: p.intCount}
+	p.intCount = 0
+	p.metrics.LockRecords++
+	return p.append(rec)
+}
+
+// NativeReady implements vm.Coordinator (the primary never waits).
+func (p *Primary) NativeReady(*vm.VM, *vm.Thread, *native.Def) bool { return true }
+
+// InvokeNative implements vm.Coordinator (§4.1/§3.4): output commit before
+// outputs; log results of non-deterministic commands, with handler state.
+func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
+	if def.Output {
+		if p.mode == ModeLockInterval {
+			if err := p.closeInterval(); err != nil {
+				return nil, err
+			}
+		}
+		seq := t.OutSeq
+		if def.UsesOutputSeq {
+			seq++
+		}
+		intent := &wire.OutputIntent{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, OutSeq: seq}
+		if err := p.append(intent); err != nil {
+			return nil, err
+		}
+		p.metrics.OutputIntents++
+		// "On performing an output, the primary waits until the backup
+		// acknowledges having logged all events up to the output event."
+		if err := p.flush(true); err != nil {
+			return nil, err
+		}
+	}
+	results, err := v.DirectNative(t, def, args)
+	if err != nil {
+		return nil, err
+	}
+	if def.NonDeterministic {
+		wv, err := toWire(v.Heap(), results)
+		if err != nil {
+			return nil, fmt.Errorf("log %s: %w", def.Sig, err)
+		}
+		rec := &wire.NativeResult{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, Results: wv}
+		if h := p.handlers.ForDef(def); h != nil {
+			data, err := h.Log(sehandler.Ctx{Heap: v.Heap(), Env: v.Environment(), Proc: v.Process()}, def, args, results)
+			if err != nil {
+				return nil, fmt.Errorf("handler log %s: %w", def.Sig, err)
+			}
+			rec.HandlerData = data
+		}
+		if err := p.append(rec); err != nil {
+			return nil, err
+		}
+		p.metrics.NativeRecords++
+	}
+	return results, nil
+}
+
+// Poll implements vm.Coordinator.
+func (p *Primary) Poll(*vm.VM) (bool, error) { return false, nil }
+
+// OnIdle implements vm.Coordinator.
+func (p *Primary) OnIdle(*vm.VM) (bool, error) { return false, nil }
+
+// OnHalt implements vm.Coordinator: on clean completion, ship the halt
+// marker and synchronise with the backup; on a kill or fatal error, crash
+// silently — buffered records are lost with the primary, and the backup's
+// failure detector takes over (fail-stop, R0).
+func (p *Primary) OnHalt(v *vm.VM, runErr error) error {
+	p.stopHeartbeat()
+	if p.closedDown {
+		return nil
+	}
+	p.closedDown = true
+	if v.Killed() || runErr != nil {
+		return p.ep.Close()
+	}
+	if p.mode == ModeLockInterval {
+		if err := p.closeInterval(); err != nil {
+			return err
+		}
+	}
+	if err := p.append(&wire.Halt{}); err != nil {
+		return err
+	}
+	if err := p.flush(true); err != nil {
+		return err
+	}
+	return p.ep.Close()
+}
+
+func (p *Primary) stopHeartbeat() {
+	if p.hbStop == nil {
+		return
+	}
+	select {
+	case <-p.hbStop:
+	default:
+		close(p.hbStop)
+		<-p.hbDone
+	}
+}

@@ -1,0 +1,192 @@
+package replication
+
+import (
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/sehandler"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// schedReplay is the backup-side coordinator for replicated thread
+// scheduling (§4.2): the logged switch records form a chain — each record
+// names the thread being descheduled (with its progress indicators) and the
+// thread scheduled next. The backup dispatches exactly that chain, running
+// each thread until its branch count reaches the recorded value, and
+// cross-checks pc offset and mon_cnt at every switch. After the final record
+// the backup must still schedule the thread the primary intended to run next
+// (it may have interacted with the environment); once its logged native
+// events are reproduced the VM continues under a live policy.
+type schedReplay struct {
+	nr         *nativeReplay
+	a          *analysis
+	idx        int
+	expect     string // vtid that should be running per the chain
+	forced     bool   // the final record's NextTID was dispatched post-drain
+	livePolicy vm.SchedPolicy
+	lidNext    int64
+	strict     bool
+
+	// Replayed counts consumed switch records.
+	Replayed uint64
+}
+
+var _ vm.Coordinator = (*schedReplay)(nil)
+
+func newSchedReplay(a *analysis, handlers *sehandler.Set, policy vm.SchedPolicy) *schedReplay {
+	if policy == nil {
+		policy = vm.NewSeededPolicy(0x7363686564, 1024, 8192)
+	}
+	return &schedReplay{
+		nr:         newNativeReplay(a, handlers),
+		a:          a,
+		expect:     "0", // the chain starts at the main thread
+		livePolicy: policy,
+		strict:     true,
+	}
+}
+
+// PickNext implements vm.Coordinator: walk the switch-record chain. A nil
+// thread with no error means "no dispatch possible yet" (warm backup waiting
+// for the next scheduling record).
+func (c *schedReplay) PickNext(v *vm.VM, runnable []*vm.Thread, cur *vm.Thread) (*vm.Thread, vm.SliceTarget, error) {
+	var none vm.SliceTarget
+	for c.idx < len(c.a.switches) {
+		head := c.a.switches[c.idx]
+		if head.TID != c.expect {
+			return nil, none, divergence("switch chain broken: record %d deschedules %s, chain expects %s",
+				c.idx, head.TID, c.expect)
+		}
+		t := v.ThreadByVTID(c.expect)
+		if t == nil {
+			return nil, none, divergence("switch record %d names unknown thread %s", c.idx, c.expect)
+		}
+		atSwitch := t.BrCnt == head.BrCnt && atPosition(t, head) &&
+			uint8(t.State()) == head.Reason
+		switch {
+		case t.BrCnt > head.BrCnt:
+			return nil, none, divergence("thread %s overshot: br_cnt %d past recorded %d",
+				t.VTID, t.BrCnt, head.BrCnt)
+		case atSwitch:
+			if c.strict {
+				if err := c.verifySwitch(t, head); err != nil {
+					return nil, none, err
+				}
+			}
+			c.idx++
+			c.Replayed++
+			c.expect = head.NextTID
+		default:
+			if t.State() == vm.StateGated && c.a.open {
+				// Waiting for a native record (warm backup): idle.
+				return nil, none, nil
+			}
+			// Run (or keep running) the thread to the recorded switch point.
+			if t.State() != vm.StateRunnable {
+				return nil, none, divergence("thread %s is %s at br_cnt %d but the log runs it to %d",
+					t.VTID, t.State(), t.BrCnt, head.BrCnt)
+			}
+			return t, vm.SliceTarget{
+				Br: head.BrCnt, Exact: true, Method: head.MethodIdx, PC: head.PCOff,
+				StopRunnable: vm.ThreadState(head.Reason) == vm.StateRunnable,
+			}, nil
+		}
+	}
+	if c.a.open {
+		// Warm backup: caught up with the primary's scheduling log. The
+		// expected thread may not run ahead of the primary's decisions;
+		// idle until the next record (or closure) arrives.
+		return nil, none, nil
+	}
+	// Log drained and closed. Schedule the thread the primary intended
+	// next, once ("the backup must schedule t'"); then live policy.
+	if !c.forced && c.Replayed > 0 {
+		c.forced = true
+		if t := v.ThreadByVTID(c.expect); t != nil && t.State() == vm.StateRunnable {
+			return t, vm.BudgetTarget(t, c.livePolicy.Quantum()), nil
+		}
+	}
+	t := c.livePolicy.Next(runnable, cur)
+	return t, vm.BudgetTarget(t, c.livePolicy.Quantum()), nil
+}
+
+// atPosition reports whether t sits exactly at the recorded switch position
+// (a dead/frameless thread matches the -1/-1 sentinel).
+func atPosition(t *vm.Thread, rec *wire.Switch) bool {
+	f := t.Top()
+	if f == nil {
+		return rec.MethodIdx == -1 && rec.PCOff == -1
+	}
+	return f.Method == rec.MethodIdx && f.PC == rec.PCOff
+}
+
+func (c *schedReplay) verifySwitch(t *vm.Thread, rec *wire.Switch) error {
+	br, methodIdx, pcOff, mon, lasn := snapshotProgress(t)
+	if br != rec.BrCnt {
+		return divergence("thread %s br_cnt %d != recorded %d", t.VTID, br, rec.BrCnt)
+	}
+	if mon != rec.MonCnt {
+		return divergence("thread %s mon_cnt %d != recorded %d", t.VTID, mon, rec.MonCnt)
+	}
+	if methodIdx != rec.MethodIdx || pcOff != rec.PCOff {
+		return divergence("thread %s at method %d pc %d, log says method %d pc %d",
+			t.VTID, methodIdx, pcOff, rec.MethodIdx, rec.PCOff)
+	}
+	if lasn != rec.LASN {
+		return divergence("thread %s waits at l_asn %d, log says %d", t.VTID, lasn, rec.LASN)
+	}
+	// Chk is zero when the primary ran without per-bytecode progress
+	// tracking (legacy logs); otherwise every pc the thread visited must
+	// fold to the same checksum.
+	if rec.Chk != 0 && t.Progress.Chk != rec.Chk {
+		return divergence("thread %s control-path checksum %x != recorded %x",
+			t.VTID, t.Progress.Chk, rec.Chk)
+	}
+	return nil
+}
+
+// OnDescheduled implements vm.Coordinator.
+func (c *schedReplay) OnDescheduled(*vm.VM, *vm.Thread, *vm.Thread) error { return nil }
+
+// BeforeAcquire implements vm.Coordinator: under identical scheduling the
+// acquisition order reproduces itself; no gating needed (R4B).
+func (c *schedReplay) BeforeAcquire(*vm.VM, *vm.Thread, *vm.Monitor) (bool, error) { return true, nil }
+
+// AssignLID implements vm.Coordinator.
+func (c *schedReplay) AssignLID(*vm.VM, *vm.Thread, *vm.Monitor) (int64, bool, error) {
+	c.lidNext++
+	return c.lidNext, true, nil
+}
+
+// OnAcquired implements vm.Coordinator.
+func (c *schedReplay) OnAcquired(*vm.VM, *vm.Thread, *vm.Monitor) error { return nil }
+
+// NativeReady implements vm.Coordinator: gate intercepted natives whose
+// records have not arrived yet (warm backup).
+func (c *schedReplay) NativeReady(_ *vm.VM, t *vm.Thread, _ *native.Def) bool {
+	return c.nr.ready(t)
+}
+
+// InvokeNative implements vm.Coordinator.
+func (c *schedReplay) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
+	return c.nr.invoke(v, t, def, args)
+}
+
+// Poll implements vm.Coordinator: admit native-gated threads whose records
+// arrived (warm backup; the dispatch chain still controls who runs).
+func (c *schedReplay) Poll(v *vm.VM) (bool, error) {
+	progress := false
+	for _, t := range v.Threads() {
+		if t.State() == vm.StateGated && t.BlockedOn() == nil && c.nr.ready(t) {
+			v.Ungate(t)
+			progress = true
+		}
+	}
+	return progress, nil
+}
+
+// OnIdle implements vm.Coordinator.
+func (c *schedReplay) OnIdle(*vm.VM) (bool, error) { return false, nil }
+
+// OnHalt implements vm.Coordinator.
+func (c *schedReplay) OnHalt(*vm.VM, error) error { return nil }

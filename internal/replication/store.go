@@ -1,0 +1,152 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// LogStore accumulates the records the backup logs during normal operation
+// (the cold backup "simply logs the recovery information provided by the
+// primary"). It is written by the backup's serve loop and read — after the
+// primary fails — by the replay coordinators.
+type LogStore struct {
+	mu      sync.Mutex
+	records []wire.Record
+}
+
+// NewLogStore returns an empty store.
+func NewLogStore() *LogStore { return &LogStore{} }
+
+// Append adds records in arrival order.
+func (s *LogStore) Append(recs ...wire.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, recs...)
+}
+
+// Len returns the number of stored records.
+func (s *LogStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Records returns the stored records (the caller must not mutate them).
+func (s *LogStore) Records() []wire.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// analysis is the indexed view of a log used during recovery. A cold
+// backup builds it once from the stored records; a warm backup feeds it
+// incrementally while the primary runs (open stays true until the primary
+// halts or fails, and gating predicates treat a temporarily-empty queue as
+// "wait", not "end of recovery").
+type analysis struct {
+	// open reports that more records may still arrive (warm backup).
+	open bool
+	// last is the most recently added record: if it is an output intent
+	// when the log closes, that output's completion is uncertain.
+	last wire.Record
+
+	// Per-thread native-event queues (NativeResult and OutputIntent), in
+	// log order.
+	nativeQ map[string][]wire.Record
+	// Per-thread lock acquisition record queues (lock mode).
+	lockQ map[string][]*wire.LockAcq
+	// Id maps indexed by (t_id, t_asn) (lock mode).
+	idmaps map[string]map[uint64]*wire.IDMap
+	// Logical interval records in log order (lock-interval mode).
+	intervals []*wire.LockInterval
+	// Scheduling records in log order (sched mode).
+	switches []*wire.Switch
+	// uncertain is the final record if it is an output intent: whether that
+	// output completed is unknown (§3.4 / §4.4 test).
+	uncertain *wire.OutputIntent
+
+	nativePending int
+	lockPending   int
+	idmapPending  int
+	maxLID        int64
+	cleanHalt     bool
+}
+
+// newAnalysis returns an empty, open analysis ready for feeding.
+func newAnalysis() *analysis {
+	return &analysis{
+		open:    true,
+		nativeQ: make(map[string][]wire.Record),
+		lockQ:   make(map[string][]*wire.LockAcq),
+		idmaps:  make(map[string]map[uint64]*wire.IDMap),
+	}
+}
+
+// add indexes one record.
+func (a *analysis) add(r wire.Record) error {
+	switch rec := r.(type) {
+	case *wire.IDMap:
+		byTASN, ok := a.idmaps[rec.TID]
+		if !ok {
+			byTASN = make(map[uint64]*wire.IDMap)
+			a.idmaps[rec.TID] = byTASN
+		}
+		if _, dup := byTASN[rec.TASN]; dup {
+			return fmt.Errorf("duplicate id map for (%s,%d)", rec.TID, rec.TASN)
+		}
+		byTASN[rec.TASN] = rec
+		a.idmapPending++
+		if rec.LID > a.maxLID {
+			a.maxLID = rec.LID
+		}
+	case *wire.LockAcq:
+		a.lockQ[rec.TID] = append(a.lockQ[rec.TID], rec)
+		a.lockPending++
+		if rec.LID > a.maxLID {
+			a.maxLID = rec.LID
+		}
+	case *wire.LockInterval:
+		a.intervals = append(a.intervals, rec)
+	case *wire.Switch:
+		a.switches = append(a.switches, rec)
+	case *wire.NativeResult:
+		a.nativeQ[rec.TID] = append(a.nativeQ[rec.TID], rec)
+		a.nativePending++
+	case *wire.OutputIntent:
+		a.nativeQ[rec.TID] = append(a.nativeQ[rec.TID], rec)
+		a.nativePending++
+	case *wire.Heartbeat:
+		return nil // liveness only
+	case *wire.Halt:
+		a.cleanHalt = true
+	default:
+		return fmt.Errorf("unexpected record type %T in log", r)
+	}
+	a.last = r
+	return nil
+}
+
+// close marks the log complete: no more records will arrive, and a trailing
+// output intent becomes the uncertain output (§3.4).
+func (a *analysis) close() {
+	a.open = false
+	if intent, ok := a.last.(*wire.OutputIntent); ok {
+		a.uncertain = intent
+	}
+}
+
+// analyze indexes a complete log for cold recovery.
+func analyze(records []wire.Record) (*analysis, error) {
+	a := newAnalysis()
+	for _, r := range records {
+		if err := a.add(r); err != nil {
+			return nil, err
+		}
+	}
+	a.close()
+	return a, nil
+}

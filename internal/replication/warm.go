@@ -1,0 +1,383 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/sehandler"
+	"repro/internal/transport"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// WarmBackup is the "keeping the backup updated would require only minor
+// modifications" variant (§1): instead of merely storing the log, the backup
+// executes the program *while* the primary runs, consuming records as they
+// arrive — semi-active replication. Threads gate at every coordination point
+// whose record has not arrived yet (lock acquisitions, scheduling switches,
+// intercepted natives, and the newest still-uncertain output); when the
+// primary fails, the warm backup is already mid-execution and simply runs
+// past the end of the log, so takeover latency is the remaining replay gap
+// rather than a full re-execution.
+type WarmBackup struct {
+	mode     Mode
+	ep       transport.Endpoint
+	handlers *sehandler.Set
+	natives  *native.Registry
+	timeout  time.Duration
+
+	feed  *warmFeed
+	stats BackupStats
+}
+
+// warmFeed is the shared, incrementally-fed log view: the serve goroutine
+// appends under mu; the replay VM's coordinator methods run under the same
+// mutex (the VM itself interprets outside it).
+type warmFeed struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	a    *analysis
+	fed  int
+
+	vmachine *vm.VM
+	handlers *sehandler.Set
+	restored bool
+}
+
+func newWarmFeed(handlers *sehandler.Set) *warmFeed {
+	f := &warmFeed{a: newAnalysis(), handlers: handlers}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// append indexes records and wakes the replay side.
+func (f *warmFeed) append(records []wire.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range records {
+		if err := f.a.add(r); err != nil {
+			return err
+		}
+		f.fed++
+	}
+	f.cond.Broadcast()
+	return nil
+}
+
+// Fed returns the number of records fed so far (kill triggers, tests).
+func (f *warmFeed) Fed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fed
+}
+
+// close seals the log (primary halted or failed) and rebuilds volatile
+// environment state exactly once (the handlers' restore, §4.4) before the
+// replay side is allowed to go live.
+func (f *warmFeed) close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.a.close()
+	var err error
+	if !f.restored && f.vmachine != nil {
+		f.restored = true
+		err = f.handlers.RestoreAll(sehandler.Ctx{
+			Heap: f.vmachine.Heap(), Env: f.vmachine.Environment(), Proc: f.vmachine.Process(),
+		})
+	}
+	f.cond.Broadcast()
+	return err
+}
+
+// warmCoordinator serialises an inner replay coordinator against the feed:
+// every decision point runs under the feed mutex, and idling waits on the
+// feed's condition variable until new records (or closure) arrive.
+type warmCoordinator struct {
+	feed  *warmFeed
+	inner vm.Coordinator
+}
+
+var _ vm.Coordinator = (*warmCoordinator)(nil)
+
+func (w *warmCoordinator) PickNext(v *vm.VM, runnable []*vm.Thread, cur *vm.Thread) (*vm.Thread, vm.SliceTarget, error) {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.PickNext(v, runnable, cur)
+}
+
+func (w *warmCoordinator) OnDescheduled(v *vm.VM, prev, next *vm.Thread) error {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.OnDescheduled(v, prev, next)
+}
+
+func (w *warmCoordinator) BeforeAcquire(v *vm.VM, t *vm.Thread, m *vm.Monitor) (bool, error) {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.BeforeAcquire(v, t, m)
+}
+
+func (w *warmCoordinator) AssignLID(v *vm.VM, t *vm.Thread, m *vm.Monitor) (int64, bool, error) {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.AssignLID(v, t, m)
+}
+
+func (w *warmCoordinator) OnAcquired(v *vm.VM, t *vm.Thread, m *vm.Monitor) error {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.OnAcquired(v, t, m)
+}
+
+func (w *warmCoordinator) NativeReady(v *vm.VM, t *vm.Thread, def *native.Def) bool {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.NativeReady(v, t, def)
+}
+
+func (w *warmCoordinator) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.InvokeNative(v, t, def, args)
+}
+
+func (w *warmCoordinator) Poll(v *vm.VM) (bool, error) {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.Poll(v)
+}
+
+// OnIdle blocks until the feed changes (new records or closure) while the
+// log is open; once closed, idling means genuine deadlock.
+func (w *warmCoordinator) OnIdle(v *vm.VM) (bool, error) {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	if retry, err := w.inner.OnIdle(v); retry || err != nil {
+		return retry, err
+	}
+	if !w.feed.a.open {
+		return false, nil
+	}
+	w.feed.cond.Wait()
+	return true, nil
+}
+
+func (w *warmCoordinator) OnHalt(v *vm.VM, runErr error) error {
+	w.feed.mu.Lock()
+	defer w.feed.mu.Unlock()
+	return w.inner.OnHalt(v, runErr)
+}
+
+// NewWarmBackup builds a warm backup replica.
+func NewWarmBackup(cfg BackupConfig) (*WarmBackup, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("warm backup: nil endpoint")
+	}
+	if cfg.Mode != ModeLock && cfg.Mode != ModeSched && cfg.Mode != ModeLockInterval {
+		return nil, fmt.Errorf("warm backup: bad mode %d", cfg.Mode)
+	}
+	h := cfg.Handlers
+	if h == nil {
+		h = sehandler.DefaultSet()
+	}
+	reg := cfg.Natives
+	if reg == nil {
+		reg = native.StdLib()
+	}
+	return &WarmBackup{
+		mode:     cfg.Mode,
+		ep:       cfg.Endpoint,
+		handlers: h,
+		natives:  reg,
+		timeout:  cfg.FailureTimeout,
+		feed:     newWarmFeed(h),
+	}, nil
+}
+
+// Logged returns the number of records fed to the replay so far (kill
+// triggers and tests poll it).
+func (w *WarmBackup) Logged() int { return w.feed.Fed() }
+
+// WarmResult describes a warm-backup run.
+type WarmResult struct {
+	Outcome ServeOutcome
+	Serve   BackupStats
+	Replay  *RecoveryReport
+	// CaughtUpAtClose reports whether the replay had consumed the entire
+	// log when the primary ended (takeover gap ≈ zero).
+	CaughtUpAtClose bool
+}
+
+// Run serves the log and executes the program concurrently, returning when
+// both the primary has ended (halt or failure) and the backup's execution
+// has completed. On primary failure the execution continues live (the warm
+// backup *is* the new primary); on clean halt it finishes replaying, leaving
+// the backup hot with the program's full final state (all external outputs
+// deduplicated by the exactly-once machinery).
+func (w *WarmBackup) Run(cfg RecoverConfig) (*vm.VM, *WarmResult, error) {
+	if cfg.Program == nil || cfg.Env == nil {
+		return nil, nil, errors.New("warm backup: nil program or environment")
+	}
+	var coord vm.Coordinator
+	var nr *nativeReplay
+	var lr *lockReplay
+	var sr *schedReplay
+	var ir *intervalReplay
+	switch w.mode {
+	case ModeLock:
+		lr = newLockReplay(w.feed.a, w.handlers, cfg.Policy)
+		nr = lr.nr
+		coord = lr
+	case ModeSched:
+		sr = newSchedReplay(w.feed.a, w.handlers, cfg.Policy)
+		nr = sr.nr
+		coord = sr
+	case ModeLockInterval:
+		ir = newIntervalReplay(w.feed.a, w.handlers, cfg.Policy)
+		nr = ir.nr
+		coord = ir
+	}
+	machine, err := vm.New(vm.Config{
+		Program:         cfg.Program,
+		Env:             cfg.Env,
+		Natives:         w.natives,
+		Coordinator:     &warmCoordinator{feed: w.feed, inner: coord},
+		GCThreshold:     cfg.GCThreshold,
+		MaxInstructions: cfg.MaxInstructions,
+		TrackProgress:   w.mode == ModeSched,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("warm vm: %w", err)
+	}
+	for _, name := range w.handlers.Names() {
+		h, _ := w.handlers.Get(name)
+		if st := h.State(); st != nil {
+			machine.SetHandlerState(name, st)
+		}
+	}
+	w.feed.vmachine = machine
+
+	type serveRes struct {
+		outcome ServeOutcome
+		err     error
+	}
+	serveCh := make(chan serveRes, 1)
+	go func() {
+		outcome, err := w.serve()
+		if cerr := w.feed.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		serveCh <- serveRes{outcome, err}
+	}()
+
+	caughtUp := false
+	runErr := machine.Run()
+	sr2 := <-serveCh
+	if sr2.err != nil {
+		return machine, nil, fmt.Errorf("warm serve: %w", sr2.err)
+	}
+	w.feed.mu.Lock()
+	caughtUp = w.feed.a.nativePending == 0 && w.feed.a.lockPending == 0
+	w.feed.mu.Unlock()
+
+	report := &RecoveryReport{
+		RecordsInLog:   int(w.stats.RecordsLogged),
+		FedResults:     nr.FedResults,
+		Reinvoked:      nr.Reinvoked,
+		SkippedOutputs: nr.SkippedOuts,
+		TestedOutputs:  nr.TestedOuts,
+		LiveInvokes:    nr.LiveInvokes,
+		VMStats:        machine.Stats(),
+	}
+	if lr != nil {
+		report.GatedWakeups = lr.GatedWakeups
+	}
+	if sr != nil {
+		report.ReplayedSwitches = sr.Replayed
+	}
+	if ir != nil {
+		report.GatedWakeups = ir.GatedWakeups
+	}
+	res := &WarmResult{
+		Outcome:         sr2.outcome,
+		Serve:           w.stats,
+		Replay:          report,
+		CaughtUpAtClose: caughtUp,
+	}
+	if runErr != nil {
+		return machine, res, fmt.Errorf("warm execution: %w", runErr)
+	}
+	return machine, res, nil
+}
+
+// serve is the warm logging loop: like Backup.Serve but feeding the live
+// analysis (and the side-effect handlers) as records arrive.
+func (w *WarmBackup) serve() (ServeOutcome, error) {
+	for {
+		msg, err := w.ep.Recv(w.timeout)
+		if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout) {
+			return OutcomePrimaryFailed, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("warm receive: %w", err)
+		}
+		frame, err := wire.DecodeFrame(msg)
+		if err != nil {
+			return 0, err
+		}
+		w.stats.FramesReceived++
+		records, err := wire.DecodeAll(frame.Payload)
+		if err != nil {
+			return 0, err
+		}
+		halted := false
+		keep := records[:0]
+		for _, r := range records {
+			switch rec := r.(type) {
+			case *wire.Heartbeat:
+				w.stats.Heartbeats++
+				continue
+			case *wire.Halt:
+				halted = true
+				continue
+			case *wire.NativeResult:
+				if len(rec.HandlerData) > 0 {
+					if err := w.routeReceive(rec); err != nil {
+						return 0, err
+					}
+				}
+			}
+			keep = append(keep, r)
+			w.stats.RecordsLogged++
+		}
+		if err := w.feed.append(keep); err != nil {
+			return 0, err
+		}
+		if frame.AckWanted {
+			if err := w.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+				return 0, fmt.Errorf("warm ack %d: %w", frame.Seq, err)
+			}
+			w.stats.AcksSent++
+		}
+		if halted {
+			return OutcomePrimaryCompleted, nil
+		}
+	}
+}
+
+func (w *WarmBackup) routeReceive(rec *wire.NativeResult) error {
+	def, ok := w.natives.Lookup(rec.Sig)
+	if !ok {
+		return fmt.Errorf("log references unknown native %q", rec.Sig)
+	}
+	h := w.handlers.ForDef(def)
+	if h == nil {
+		return fmt.Errorf("native %q logged handler data but has no handler", rec.Sig)
+	}
+	w.stats.ReceiveRoutings++
+	return h.Receive(rec.HandlerData)
+}

@@ -1,0 +1,57 @@
+package sehandler
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// ChannelHandler manages chan.send: message sends are the paper's example of
+// output that is neither naturally idempotent nor testable — an extra layer
+// (per-writer sequence numbers) makes them testable (§3.4). During recovery
+// the backup skips sends that certainly completed and uses Test to decide
+// the uncertain final one.
+type ChannelHandler struct{}
+
+var _ Handler = (*ChannelHandler)(nil)
+
+// NewChannelHandler returns the channel handler.
+func NewChannelHandler() *ChannelHandler { return &ChannelHandler{} }
+
+// Name implements Handler.
+func (h *ChannelHandler) Name() string { return native.HandlerChannel }
+
+// Register implements Handler.
+func (h *ChannelHandler) Register(reg *native.Registry) error {
+	def, ok := reg.Lookup("chan.send")
+	if !ok {
+		return fmt.Errorf("chan.send missing from registry")
+	}
+	if !def.Output || !def.UsesOutputSeq {
+		return fmt.Errorf("chan.send must be a sequence-numbered output")
+	}
+	return nil
+}
+
+// Log implements Handler: the intent record's thread id and output sequence
+// number are all Test needs, so no extra state is logged.
+func (h *ChannelHandler) Log(Ctx, *native.Def, []heap.Value, []heap.Value) ([]byte, error) {
+	return nil, nil
+}
+
+// Receive implements Handler.
+func (h *ChannelHandler) Receive([]byte) error { return nil }
+
+// Test implements Handler: a send completed iff the channel has performed
+// the writer's sequence number.
+func (h *ChannelHandler) Test(ctx Ctx, _ *native.Def, _ []heap.Value, intent *wire.OutputIntent) (bool, error) {
+	return ctx.Env.Messages().LastSeq(intent.TID) >= intent.OutSeq, nil
+}
+
+// Restore implements Handler: channels hold no volatile state to rebuild.
+func (h *ChannelHandler) Restore(Ctx) error { return nil }
+
+// State implements Handler.
+func (h *ChannelHandler) State() any { return nil }

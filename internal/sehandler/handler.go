@@ -1,0 +1,137 @@
+// Package sehandler implements side-effect handlers (§4.4): the interface
+// through which the replicated VM stores and recovers volatile environment
+// state created by native methods, and ensures exactly-once semantics for
+// output commands. A handler provides the five methods of the paper —
+// register, log (primary), receive (backup), test (uncertain outputs) and
+// restore (volatile-state recovery) — plus the state installation hook that
+// lets natives translate volatile identifiers (e.g. file descriptors).
+package sehandler
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/env"
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// Ctx gives handlers access to the replica they serve.
+type Ctx struct {
+	Heap *heap.Heap
+	Env  *env.Env
+	Proc *env.Process
+}
+
+// Handler manages the volatile side effects of a related set of native
+// methods (e.g. all file I/O).
+type Handler interface {
+	// Name identifies the handler; natives reference it via Def.Handler.
+	Name() string
+
+	// Register validates that every native this handler manages is present
+	// in the registry with the expected annotations (the paper's register
+	// method, run at system startup).
+	Register(reg *native.Registry) error
+
+	// Log runs at the primary after an intercepted native managed by this
+	// handler executed; it returns the opaque recovery state to append to
+	// the native's log record (the paper's log method).
+	Log(ctx Ctx, def *native.Def, args, results []heap.Value) ([]byte, error)
+
+	// Receive runs at the backup when a log record carrying handler data is
+	// consumed; the handler may compress state (e.g. fold successive file
+	// writes into a single offset — the paper's receive method).
+	Receive(data []byte) error
+
+	// Test runs at the backup for an uncertain output command (the final
+	// record in the log): it queries the environment to decide whether the
+	// output completed before the failure (the paper's test method).
+	// Commands whose handler reports performed=false are re-executed.
+	Test(ctx Ctx, def *native.Def, args []heap.Value, intent *wire.OutputIntent) (performed bool, err error)
+
+	// Restore runs once at the backup when recovery completes: it rebuilds
+	// the volatile environment state (e.g. reopens files at their recovered
+	// offsets — the paper's restore method).
+	Restore(ctx Ctx) error
+
+	// State returns the value to install as the VM's handler state (visible
+	// to natives via native.Ctx.HandlerState), or nil.
+	State() any
+}
+
+// Set is the collection of handlers active at one replica, keyed by name.
+type Set struct {
+	handlers map[string]Handler
+	order    []string
+}
+
+// NewSet builds a handler set, rejecting duplicates.
+func NewSet(handlers ...Handler) (*Set, error) {
+	s := &Set{handlers: make(map[string]Handler, len(handlers))}
+	for _, h := range handlers {
+		if _, dup := s.handlers[h.Name()]; dup {
+			return nil, fmt.Errorf("duplicate side-effect handler %q", h.Name())
+		}
+		s.handlers[h.Name()] = h
+		s.order = append(s.order, h.Name())
+	}
+	return s, nil
+}
+
+// DefaultSet returns the handlers for the FTVM standard library: file I/O
+// and the message channel. They are added automatically during startup, as
+// the paper's handlers for the standard JRE libraries are; applications
+// register additional handlers alongside (same mechanism).
+func DefaultSet() *Set {
+	s, err := NewSet(NewFileHandler(), NewChannelHandler())
+	if err != nil {
+		panic(err) // unreachable: static names differ
+	}
+	return s
+}
+
+// Get looks a handler up by name.
+func (s *Set) Get(name string) (Handler, bool) {
+	h, ok := s.handlers[name]
+	return h, ok
+}
+
+// ForDef returns the handler managing def (nil if none).
+func (s *Set) ForDef(def *native.Def) Handler {
+	if def.Handler == "" {
+		return nil
+	}
+	return s.handlers[def.Handler]
+}
+
+// RegisterAll runs every handler's Register against reg.
+func (s *Set) RegisterAll(reg *native.Registry) error {
+	for _, name := range s.order {
+		if err := s.handlers[name].Register(reg); err != nil {
+			return fmt.Errorf("register handler %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RestoreAll runs every handler's Restore (end of recovery).
+func (s *Set) RestoreAll(ctx Ctx) error {
+	for _, name := range s.order {
+		if err := s.handlers[name].Restore(ctx); err != nil {
+			return fmt.Errorf("restore handler %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Names returns the handler names in registration order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// ErrHandlerData is wrapped by handler-data decoding failures.
+var ErrHandlerData = errors.New("bad side-effect handler data")

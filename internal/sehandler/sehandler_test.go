@@ -1,0 +1,227 @@
+package sehandler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/heap"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func fileCtx(t *testing.T) (Ctx, *env.Env) {
+	t.Helper()
+	e := env.New(1)
+	return Ctx{Heap: heap.New(), Env: e, Proc: e.Attach()}, e
+}
+
+func def(t *testing.T, sig string) *native.Def {
+	t.Helper()
+	d, ok := native.StdLib().Lookup(sig)
+	if !ok {
+		t.Fatalf("no native %s", sig)
+	}
+	return d
+}
+
+func strVal(t *testing.T, h *heap.Heap, s string) heap.Value {
+	t.Helper()
+	r, err := h.AllocString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return heap.RefVal(r)
+}
+
+func TestDefaultSetRegisters(t *testing.T) {
+	s := DefaultSet()
+	if err := s.RegisterAll(native.StdLib()); err != nil {
+		t.Fatal(err)
+	}
+	names := s.Names()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	if h := s.ForDef(def(t, "fs.open")); h == nil || h.Name() != native.HandlerFile {
+		t.Fatal("fs.open not routed to file handler")
+	}
+	if h := s.ForDef(def(t, "chan.send")); h == nil || h.Name() != native.HandlerChannel {
+		t.Fatal("chan.send not routed to channel handler")
+	}
+	if h := s.ForDef(def(t, "sys.clock")); h != nil {
+		t.Fatal("sys.clock should have no handler")
+	}
+}
+
+func TestNewSetRejectsDuplicates(t *testing.T) {
+	if _, err := NewSet(NewFileHandler(), NewFileHandler()); err == nil {
+		t.Fatal("duplicate handlers accepted")
+	}
+}
+
+// TestFileHandlerLifecycle walks the full primary→backup flow by hand:
+// log at a "primary", receive the data at a "backup", restore, translate.
+func TestFileHandlerLifecycle(t *testing.T) {
+	primaryCtx, e := fileCtx(t)
+	ph := NewFileHandler()
+
+	// Primary: open, write, write, seek.
+	fd, err := primaryCtx.Proc.Open("data", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openData, err := ph.Log(primaryCtx, def(t, "fs.open"),
+		[]heap.Value{strVal(t, primaryCtx.Heap, "data"), heap.IntVal(1)},
+		[]heap.Value{heap.IntVal(fd)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = primaryCtx.Proc.Write(fd, []byte("hello "))
+	w1, err := ph.Log(primaryCtx, def(t, "fs.write"),
+		[]heap.Value{heap.IntVal(fd), strVal(t, primaryCtx.Heap, "hello ")},
+		[]heap.Value{heap.IntVal(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = primaryCtx.Proc.Write(fd, []byte("world"))
+	w2, err := ph.Log(primaryCtx, def(t, "fs.write"),
+		[]heap.Value{heap.IntVal(fd), strVal(t, primaryCtx.Heap, "world")},
+		[]heap.Value{heap.IntVal(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backup: receive (compresses offsets), then the primary "fails"; a
+	// fresh process restores.
+	bh := NewFileHandler()
+	for _, data := range [][]byte{openData, w1, w2} {
+		if err := bh.Receive(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backupCtx := Ctx{Heap: heap.New(), Env: e, Proc: e.Attach()}
+	if err := bh.Restore(backupCtx); err != nil {
+		t.Fatal(err)
+	}
+	// The logged descriptor translates to a live one positioned at the
+	// recovered offset (end of "hello world").
+	tr, ok := bh.State().(native.FDTranslator)
+	if !ok {
+		t.Fatal("file handler state is not a translator")
+	}
+	real, err := tr.Real(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real == fd {
+		t.Fatalf("descriptor not rebased: %d", real)
+	}
+	pos, err := backupCtx.Proc.Tell(real)
+	if err != nil || pos != 11 {
+		t.Fatalf("restored offset = %d (%v), want 11", pos, err)
+	}
+	// Untracked descriptors pass through.
+	if got, err := tr.Real(9999); err != nil || got != 9999 {
+		t.Fatalf("passthrough = %d (%v)", got, err)
+	}
+}
+
+func TestFileHandlerTestMethod(t *testing.T) {
+	ctx, e := fileCtx(t)
+	e.PutFile("f", []byte("0123456789"))
+	h := NewFileHandler()
+	// Log+receive an open and a write ending at offset 6.
+	fd := int64(3)
+	openData := encodeFileOp(fileOpOpen, fd, 0, "f")
+	writeData := encodeFileOp(fileOpWrite, fd, 6, "")
+	if err := h.Receive(openData); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Receive(writeData); err != nil {
+		t.Fatal(err)
+	}
+	// Uncertain final write of "6789" at offset 6: present → performed.
+	args := []heap.Value{heap.IntVal(fd), strVal(t, ctx.Heap, "6789")}
+	performed, err := h.Test(ctx, def(t, "fs.write"), args, &wire.OutputIntent{})
+	if err != nil || !performed {
+		t.Fatalf("performed = %v (%v), want true", performed, err)
+	}
+	// Uncertain write of different content: not performed.
+	args2 := []heap.Value{heap.IntVal(fd), strVal(t, ctx.Heap, "XXXX")}
+	performed, err = h.Test(ctx, def(t, "fs.write"), args2, &wire.OutputIntent{})
+	if err != nil || performed {
+		t.Fatalf("performed = %v (%v), want false", performed, err)
+	}
+	// Uncertain write past EOF: not performed.
+	longData := strVal(t, ctx.Heap, strings.Repeat("z", 32))
+	performed, err = h.Test(ctx, def(t, "fs.write"), []heap.Value{heap.IntVal(fd), longData}, &wire.OutputIntent{})
+	if err != nil || performed {
+		t.Fatalf("performed = %v (%v), want false", performed, err)
+	}
+}
+
+// encodeFileOp mirrors FileHandler.Log's wire format for direct tests
+// (op byte, varint fd, varint aux, uvarint name length, name bytes).
+func encodeFileOp(op byte, fd, aux int64, name string) []byte {
+	var buf []byte
+	buf = append(buf, op)
+	buf = appendVarint(buf, fd)
+	buf = appendVarint(buf, aux)
+	buf = appendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	return buf
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return appendUvarint(b, uv)
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func TestChannelHandlerTest(t *testing.T) {
+	ctx, e := fileCtx(t)
+	h := NewChannelHandler()
+	if err := h.Register(native.StdLib()); err != nil {
+		t.Fatal(err)
+	}
+	e.Messages().Send("0.1", 3, "already sent")
+	performed, err := h.Test(ctx, def(t, "chan.send"), nil, &wire.OutputIntent{TID: "0.1", OutSeq: 3})
+	if err != nil || !performed {
+		t.Fatalf("seq 3 performed = %v (%v), want true", performed, err)
+	}
+	performed, err = h.Test(ctx, def(t, "chan.send"), nil, &wire.OutputIntent{TID: "0.1", OutSeq: 4})
+	if err != nil || performed {
+		t.Fatalf("seq 4 performed = %v (%v), want false", performed, err)
+	}
+	performed, err = h.Test(ctx, def(t, "chan.send"), nil, &wire.OutputIntent{TID: "0.9", OutSeq: 1})
+	if err != nil || performed {
+		t.Fatalf("other writer performed = %v (%v), want false", performed, err)
+	}
+}
+
+func TestFileHandlerRejectsGarbageData(t *testing.T) {
+	h := NewFileHandler()
+	if err := h.Receive([]byte{fileOpWrite}); err == nil {
+		t.Fatal("truncated data accepted")
+	}
+	if err := h.Receive(encodeFileOp(99, 1, 2, "")); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if err := h.Receive(encodeFileOp(fileOpWrite, 42, 7, "")); err == nil {
+		t.Fatal("write on unknown fd accepted")
+	}
+	if err := h.Receive(nil); err != nil {
+		t.Fatalf("empty data should be a no-op: %v", err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package transport carries the replication log between primary and backup:
+// a message-oriented, ordered, reliable duplex channel. Two implementations
+// are provided — an in-process pipe (the default for tests, examples and the
+// benchmark harness) and TCP (the deployment the paper used between two
+// machines). A closed or timed-out endpoint is how the backup's failure
+// detector observes the primary's fail-stop crash.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Errors surfaced by endpoints.
+var (
+	ErrClosed  = errors.New("transport closed")
+	ErrTimeout = errors.New("transport receive timeout")
+)
+
+// Endpoint is one end of a duplex message channel.
+type Endpoint interface {
+	// Send transmits one message (never blocks indefinitely on a live
+	// peer; returns ErrClosed after Close of either end).
+	Send(msg []byte) error
+	// Recv blocks for the next message. timeout <= 0 means no timeout.
+	// Returns ErrClosed when the peer closed, ErrTimeout on expiry.
+	Recv(timeout time.Duration) ([]byte, error)
+	// Close tears the endpoint down; pending and future Recv calls on the
+	// peer return ErrClosed.
+	Close() error
+}
+
+// pipeEnd is one side of an in-process pipe.
+type pipeEnd struct {
+	in, out chan []byte
+	mu      sync.Mutex
+	closed  chan struct{}
+	peer    *pipeEnd
+}
+
+// Pipe returns the two ends of an in-process duplex channel with capacity
+// cap messages per direction (a small buffer decouples the primary's log
+// sender from the backup's consumer, like a socket buffer).
+func Pipe(capacity int) (Endpoint, Endpoint) {
+	if capacity < 1 {
+		capacity = 64
+	}
+	ab := make(chan []byte, capacity)
+	ba := make(chan []byte, capacity)
+	a := &pipeEnd{in: ba, out: ab, closed: make(chan struct{})}
+	b := &pipeEnd{in: ab, out: ba, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Endpoint.
+func (p *pipeEnd) Send(msg []byte) error {
+	// Check closure first: a buffered select could otherwise still accept
+	// the message after either end closed.
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	default:
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	case p.out <- cp:
+		return nil
+	}
+}
+
+// Recv implements Endpoint.
+func (p *pipeEnd) Recv(timeout time.Duration) ([]byte, error) {
+	var timer *time.Timer
+	var expire <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	select {
+	case msg := <-p.in:
+		return msg, nil
+	case <-expire:
+		return nil, ErrTimeout
+	case <-p.closed:
+		return nil, ErrClosed
+	case <-p.peer.closed:
+		// Drain anything already buffered before reporting closure.
+		select {
+		case msg := <-p.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Endpoint.
+func (p *pipeEnd) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.closed:
+		return nil
+	default:
+		close(p.closed)
+	}
+	return nil
+}
+
+// tcpEndpoint speaks length-prefixed messages over a net.Conn.
+type tcpEndpoint struct {
+	conn    net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	lenBuf  [4]byte
+	rLenBuf [4]byte
+	closed  bool
+	mu      sync.Mutex
+}
+
+// NewTCP wraps an established connection.
+func NewTCP(conn net.Conn) Endpoint { return &tcpEndpoint{conn: conn} }
+
+// DialTCP connects to a listening backup.
+func DialTCP(addr string) (Endpoint, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return NewTCP(conn), nil
+}
+
+// ListenTCP accepts exactly one peer on addr and returns the endpoint plus
+// the bound address (useful with ":0").
+func ListenTCP(addr string) (Endpoint, string, error) {
+	return ListenTCPAnnounce(addr, nil)
+}
+
+// ListenTCPAnnounce is ListenTCP, but reports the bound address through
+// ready before blocking in Accept — needed when listening on ":0" and the
+// dialer must learn the chosen port.
+func ListenTCPAnnounce(addr string, ready func(bound string)) (Endpoint, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("listen %s: %w", addr, err)
+	}
+	bound := l.Addr().String()
+	if ready != nil {
+		ready(bound)
+	}
+	conn, err := l.Accept()
+	closeErr := l.Close()
+	if err != nil {
+		return nil, bound, fmt.Errorf("accept on %s: %w", bound, err)
+	}
+	if closeErr != nil {
+		_ = conn.Close()
+		return nil, bound, fmt.Errorf("close listener: %w", closeErr)
+	}
+	return NewTCP(conn), bound, nil
+}
+
+// Send implements Endpoint.
+func (t *tcpEndpoint) Send(msg []byte) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if t.isClosed() {
+		return ErrClosed
+	}
+	binary.LittleEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
+	if _, err := t.conn.Write(t.lenBuf[:]); err != nil {
+		return t.mapErr(err)
+	}
+	if _, err := t.conn.Write(msg); err != nil {
+		return t.mapErr(err)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (t *tcpEndpoint) Recv(timeout time.Duration) ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if t.isClosed() {
+		return nil, ErrClosed
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := t.conn.SetReadDeadline(deadline); err != nil {
+		return nil, t.mapErr(err)
+	}
+	if _, err := io.ReadFull(t.conn, t.rLenBuf[:]); err != nil {
+		return nil, t.mapErr(err)
+	}
+	n := binary.LittleEndian.Uint32(t.rLenBuf[:])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("implausible message length %d", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, msg); err != nil {
+		return nil, t.mapErr(err)
+	}
+	return msg, nil
+}
+
+// Close implements Endpoint.
+func (t *tcpEndpoint) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return t.conn.Close()
+}
+
+func (t *tcpEndpoint) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *tcpEndpoint) mapErr(err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return ErrTimeout
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	if t.isClosed() {
+		return ErrClosed
+	}
+	return err
+}

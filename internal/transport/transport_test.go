@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testEndpointPair(t *testing.T, a, b Endpoint) {
+	t.Helper()
+	if err := a.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv(time.Second)
+	if err != nil || string(msg) != "ping" {
+		t.Fatalf("recv = %q (%v)", msg, err)
+	}
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = a.Recv(time.Second)
+	if err != nil || string(msg) != "pong" {
+		t.Fatalf("recv = %q (%v)", msg, err)
+	}
+	// Ordering holds under load.
+	go func() {
+		for i := 0; i < 100; i++ {
+			_ = a.Send([]byte{byte(i)})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		msg, err := b.Recv(time.Second)
+		if err != nil || len(msg) != 1 || msg[0] != byte(i) {
+			t.Fatalf("message %d = %v (%v)", i, msg, err)
+		}
+	}
+}
+
+func TestPipeBasics(t *testing.T) {
+	a, b := Pipe(4)
+	testEndpointPair(t, a, b)
+}
+
+func TestPipeCloseSignalsPeer(t *testing.T) {
+	a, b := Pipe(4)
+	_ = a.Send([]byte("buffered"))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered data drains before closure is reported.
+	msg, err := b.Recv(time.Second)
+	if err != nil || string(msg) != "buffered" {
+		t.Fatalf("drain = %q (%v)", msg, err)
+	}
+	if _, err := b.Recv(100 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := b.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send to closed: %v", err)
+	}
+}
+
+func TestPipeTimeout(t *testing.T) {
+	a, _ := Pipe(1)
+	start := time.Now()
+	_, err := a.Recv(30 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("returned too early")
+	}
+}
+
+func TestPipeMessageIsolation(t *testing.T) {
+	a, b := Pipe(1)
+	payload := []byte("mutate-me")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = a.Send(payload)
+	}()
+	<-done
+	payload[0] = 'X' // sender mutating after Send must not affect receiver
+	msg, err := b.Recv(time.Second)
+	if err != nil || string(msg) != "mutate-me" {
+		t.Fatalf("message aliased: %q (%v)", msg, err)
+	}
+}
+
+func TestTCPEndpoint(t *testing.T) {
+	type acceptResult struct {
+		ep  Endpoint
+		err error
+	}
+	resCh := make(chan acceptResult, 1)
+	addrCh := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ep, bound, err := listenTCPAsync(addrCh)
+		resCh <- acceptResult{ep, err}
+		_ = bound
+	}()
+	addr := <-addrCh
+	dialer, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	wg.Wait()
+	testEndpointPair(t, dialer, res.ep)
+
+	big := bytes.Repeat([]byte("z"), 1<<16)
+	if err := dialer.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := res.ep.Recv(time.Second)
+	if err != nil || !bytes.Equal(msg, big) {
+		t.Fatalf("big message: %d bytes (%v)", len(msg), err)
+	}
+
+	if _, err := res.ep.Recv(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	_ = dialer.Close()
+	if _, err := res.ep.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want closed, got %v", err)
+	}
+}
+
+// listenTCPAsync is ListenTCPAnnounce adapted so the test can learn the
+// bound address before Accept blocks.
+func listenTCPAsync(addrCh chan<- string) (Endpoint, string, error) {
+	return ListenTCPAnnounce("127.0.0.1:0", func(bound string) { addrCh <- bound })
+}
+
+func TestLatencyWrapper(t *testing.T) {
+	a, b := Pipe(4)
+	la := WithLatency(a, 2*time.Millisecond, 0)
+	start := time.Now()
+	if err := la.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("send too fast: %v", el)
+	}
+	msg, err := b.Recv(time.Second)
+	if err != nil || string(msg) != "slow" {
+		t.Fatalf("recv = %q (%v)", msg, err)
+	}
+	if la.Simulated() < 2*time.Millisecond {
+		t.Fatalf("simulated = %v", la.Simulated())
+	}
+	// Per-KB component scales with size.
+	lb := WithLatency(a, 0, 1024*time.Microsecond) // ~1µs per byte
+	start = time.Now()
+	_ = lb.Send(make([]byte, 4096))
+	if el := time.Since(start); el < 3*time.Millisecond {
+		t.Fatalf("per-KB cost not charged: %v", el)
+	}
+}

@@ -1,0 +1,272 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/heap"
+	"repro/internal/native"
+)
+
+// gateCoordinator wraps the default coordinator and gates the first N
+// intercepted native calls / first M lock acquisitions, releasing them via
+// Poll — exercising the replay-style gating machinery without replication.
+type gateCoordinator struct {
+	*DefaultCoordinator
+	nativeHoldoffs int
+	lockHoldoffs   int
+	nativeGated    int
+	lockGated      int
+	polls          int
+}
+
+func (g *gateCoordinator) NativeReady(_ *VM, _ *Thread, _ *native.Def) bool {
+	if g.nativeHoldoffs > 0 {
+		g.nativeGated++
+		return false
+	}
+	return true
+}
+
+func (g *gateCoordinator) BeforeAcquire(_ *VM, _ *Thread, _ *Monitor) (bool, error) {
+	if g.lockHoldoffs > 0 {
+		g.lockGated++
+		return false, nil
+	}
+	return true, nil
+}
+
+func (g *gateCoordinator) Poll(v *VM) (bool, error) {
+	g.polls++
+	progress := false
+	if g.nativeHoldoffs > 0 {
+		g.nativeHoldoffs--
+		if g.nativeHoldoffs == 0 {
+			progress = true
+		}
+	}
+	if g.lockHoldoffs > 0 {
+		g.lockHoldoffs--
+		if g.lockHoldoffs == 0 {
+			progress = true
+		}
+	}
+	for _, t := range v.Threads() {
+		if t.State() == StateGated {
+			if (t.BlockedOn() == nil && g.nativeHoldoffs == 0) ||
+				(t.BlockedOn() != nil && g.lockHoldoffs == 0) {
+				v.Ungate(t)
+				progress = true
+			}
+		}
+	}
+	return progress, nil
+}
+
+// OnIdle keeps the scheduler retrying while holdoffs remain (Poll counts
+// down one per iteration).
+func (g *gateCoordinator) OnIdle(*VM) (bool, error) {
+	return g.nativeHoldoffs > 0 || g.lockHoldoffs > 0, nil
+}
+
+func TestNativeGatingAndRelease(t *testing.T) {
+	p := buildProgram(t, printNative+`
+method main 0 void
+  sconst "hello"
+  call print
+  ret
+end`)
+	g := &gateCoordinator{DefaultCoordinator: NewDefaultCoordinator(nil), nativeHoldoffs: 3}
+	e := env.New(1)
+	v, err := New(Config{Program: p, Env: e, Coordinator: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if g.nativeGated == 0 {
+		t.Fatal("native gate never engaged")
+	}
+	if lines := e.Console().Lines(); len(lines) != 1 || lines[0] != "hello" {
+		t.Fatalf("console = %v (call must execute exactly once after gating)", lines)
+	}
+	// br_cnt must count the gated-then-retried call exactly once: compare
+	// with an ungated run.
+	v2, _ := New(Config{Program: buildProgram(t, printNative+`
+method main 0 void
+  sconst "hello"
+  call print
+  ret
+end`), Env: env.New(1)})
+	if err := v2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats().Branches != v2.Stats().Branches {
+		t.Fatalf("gated run counted %d branches, ungated %d", v.Stats().Branches, v2.Stats().Branches)
+	}
+}
+
+func TestLockGatingAndRelease(t *testing.T) {
+	p := buildProgram(t, `
+class L d
+method main 0 void
+  new L
+  store 0
+  load 0
+  menter
+  load 0
+  mexit
+  ret
+end`)
+	g := &gateCoordinator{DefaultCoordinator: NewDefaultCoordinator(nil), lockHoldoffs: 2}
+	v, err := New(Config{Program: p, Env: env.New(1), Coordinator: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if g.lockGated == 0 {
+		t.Fatal("lock gate never engaged")
+	}
+	if v.Stats().LocksAcquired < 2 { // program lock + $finish thread lock
+		t.Fatalf("locks = %d", v.Stats().LocksAcquired)
+	}
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	p := &RoundRobinPolicy{Q: 7}
+	threads := []*Thread{{Slot: 0}, {Slot: 1}, {Slot: 2}}
+	if got := p.Next(threads, nil); got != threads[0] {
+		t.Fatalf("first pick = slot %d", got.Slot)
+	}
+	if got := p.Next(threads, threads[0]); got != threads[1] {
+		t.Fatalf("after 0 = slot %d", got.Slot)
+	}
+	if got := p.Next(threads, threads[2]); got != threads[0] {
+		t.Fatalf("wrap = slot %d", got.Slot)
+	}
+	// Skips non-runnable entries (the caller only passes runnable ones).
+	if got := p.Next([]*Thread{threads[0], threads[2]}, threads[0]); got != threads[2] {
+		t.Fatalf("gap skip = slot %d", got.Slot)
+	}
+	if p.Quantum() != 7 {
+		t.Fatalf("quantum = %d", p.Quantum())
+	}
+	if (&RoundRobinPolicy{}).Quantum() == 0 {
+		t.Fatal("default quantum must be positive")
+	}
+}
+
+func TestSeededPolicyDeterminism(t *testing.T) {
+	threads := []*Thread{{Slot: 0}, {Slot: 1}, {Slot: 2}}
+	a := NewSeededPolicy(9, 10, 100)
+	b := NewSeededPolicy(9, 10, 100)
+	for i := 0; i < 50; i++ {
+		if a.Next(threads, nil) != b.Next(threads, nil) {
+			t.Fatal("same seed diverged on Next")
+		}
+		qa, qb := a.Quantum(), b.Quantum()
+		if qa != qb {
+			t.Fatal("same seed diverged on Quantum")
+		}
+		if qa < 10 || qa > 100 {
+			t.Fatalf("quantum %d outside [10,100]", qa)
+		}
+	}
+}
+
+// progressChecker verifies, at every context switch, that the per-bytecode
+// published snapshot agrees with the thread's live state — the invariant the
+// scheduling records depend on.
+type progressChecker struct {
+	*DefaultCoordinator
+	t        *testing.T
+	switches int
+}
+
+func (p *progressChecker) OnDescheduled(v *VM, prev, next *Thread) error {
+	if prev == nil {
+		return nil
+	}
+	p.switches++
+	snap := prev.Progress
+	if snap.BrCnt != prev.BrCnt {
+		p.t.Errorf("snapshot br %d != live %d", snap.BrCnt, prev.BrCnt)
+	}
+	if snap.MonCnt != prev.MonCnt {
+		p.t.Errorf("snapshot mon %d != live %d", snap.MonCnt, prev.MonCnt)
+	}
+	if f := prev.Top(); f != nil {
+		if snap.Method != f.Method || snap.PC != f.PC {
+			p.t.Errorf("snapshot pos (%d,%d) != live (%d,%d)", snap.Method, snap.PC, f.Method, f.PC)
+		}
+	} else if snap.Method != -1 || snap.PC != -1 {
+		p.t.Errorf("dead thread snapshot pos (%d,%d), want (-1,-1)", snap.Method, snap.PC)
+	}
+	return nil
+}
+
+func TestProgressSnapshotConsistency(t *testing.T) {
+	p := buildProgram(t, printNative+`
+static M.l
+class L d
+method worker 0 void
+  iconst 0
+  store 0
+loop:
+  load 0
+  iconst 200
+  icmp
+  jz out
+  gets M.l
+  menter
+  gets M.l
+  mexit
+  load 0
+  iconst 1
+  iadd
+  store 0
+  jmp loop
+out:
+  ret
+end
+method main 0 void
+  new L
+  puts M.l
+  spawn worker 0
+  store 0
+  spawn worker 0
+  store 1
+  load 0
+  join
+  load 1
+  join
+  ret
+end`)
+	pc := &progressChecker{DefaultCoordinator: NewDefaultCoordinator(NewSeededPolicy(3, 32, 128)), t: t}
+	v, err := New(Config{Program: p, Env: env.New(1), Coordinator: pc, TrackProgress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pc.switches < 5 {
+		t.Fatalf("only %d switches; the checker barely ran", pc.switches)
+	}
+	// The rolling control-path checksum must be non-zero and differ across
+	// threads (they executed different interleavings of the same code).
+	chks := map[uint64]bool{}
+	for _, th := range v.Threads() {
+		if th.Progress.Chk == 0 {
+			t.Errorf("thread %s has zero checksum", th.VTID)
+		}
+		chks[th.Progress.Chk] = true
+	}
+	if len(chks) < 2 {
+		t.Error("checksums should differ across threads")
+	}
+	_ = heap.NullRef
+}

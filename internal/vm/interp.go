@@ -1,0 +1,671 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/bytecode"
+	"repro/internal/heap"
+	"repro/internal/native"
+)
+
+// Interpreter kind-mismatch errors are fatal (R0): FTVM traps them rather
+// than modelling catchable exceptions.
+var (
+	errWantInt   = errors.New("operand is not an int")
+	errWantFloat = errors.New("operand is not a float")
+	errWantRef   = errors.New("operand is not a ref")
+	errDivByZero = errors.New("integer division by zero")
+)
+
+func wantInt(v heap.Value) (int64, error) {
+	if v.Kind != heap.KindInt {
+		return 0, fmt.Errorf("%w: %s", errWantInt, v)
+	}
+	return v.I, nil
+}
+
+func wantFloat(v heap.Value) (float64, error) {
+	if v.Kind != heap.KindFloat {
+		return 0, fmt.Errorf("%w: %s", errWantFloat, v)
+	}
+	return v.F, nil
+}
+
+func wantRef(v heap.Value) (heap.Ref, error) {
+	if v.Kind != heap.KindRef {
+		return 0, fmt.Errorf("%w: %s", errWantRef, v)
+	}
+	return v.R, nil
+}
+
+// step executes one instruction of t. Blocking operations (monitorenter,
+// wait) leave the PC unchanged so the instruction re-executes when the
+// thread is rescheduled; all other paths advance the PC.
+func (vm *VM) step(t *Thread) error {
+	f := &t.frames[len(t.frames)-1]
+	m := vm.prog.Methods[f.Method]
+	in := m.Code[f.PC]
+	if vm.isBranch[in.Op] {
+		t.BrCnt++
+		vm.stats.Branches++
+	}
+	switch in.Op {
+	case bytecode.OpNop:
+
+	case bytecode.OpIConst:
+		f.push(heap.IntVal(int64(in.A)))
+	case bytecode.OpLConst:
+		f.push(heap.IntVal(vm.prog.IntPool[in.A]))
+	case bytecode.OpFConst:
+		f.push(heap.FloatVal(vm.prog.FloatPool[in.A]))
+	case bytecode.OpSConst:
+		r, err := vm.hp.AllocString(vm.prog.StrPool[in.A])
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpNull:
+		f.push(heap.Null())
+	case bytecode.OpPop:
+		f.pop()
+	case bytecode.OpDup:
+		f.push(*f.top())
+	case bytecode.OpSwap:
+		n := len(f.Stack)
+		f.Stack[n-1], f.Stack[n-2] = f.Stack[n-2], f.Stack[n-1]
+
+	case bytecode.OpLoad:
+		f.push(f.Locals[in.A])
+	case bytecode.OpStore:
+		f.Locals[in.A] = f.pop()
+
+	case bytecode.OpIAdd, bytecode.OpISub, bytecode.OpIMul, bytecode.OpIDiv,
+		bytecode.OpIRem, bytecode.OpIAnd, bytecode.OpIOr, bytecode.OpIXor,
+		bytecode.OpIShl, bytecode.OpIShr:
+		b, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		a, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		var res int64
+		switch in.Op {
+		case bytecode.OpIAdd:
+			res = a + b
+		case bytecode.OpISub:
+			res = a - b
+		case bytecode.OpIMul:
+			res = a * b
+		case bytecode.OpIDiv:
+			if b == 0 {
+				return errDivByZero
+			}
+			res = a / b
+		case bytecode.OpIRem:
+			if b == 0 {
+				return errDivByZero
+			}
+			res = a % b
+		case bytecode.OpIAnd:
+			res = a & b
+		case bytecode.OpIOr:
+			res = a | b
+		case bytecode.OpIXor:
+			res = a ^ b
+		case bytecode.OpIShl:
+			res = a << (uint64(b) & 63)
+		case bytecode.OpIShr:
+			res = a >> (uint64(b) & 63)
+		}
+		f.push(heap.IntVal(res))
+	case bytecode.OpINeg:
+		a, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		f.push(heap.IntVal(-a))
+
+	case bytecode.OpFAdd, bytecode.OpFSub, bytecode.OpFMul, bytecode.OpFDiv:
+		b, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		a, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		var res float64
+		switch in.Op {
+		case bytecode.OpFAdd:
+			res = a + b
+		case bytecode.OpFSub:
+			res = a - b
+		case bytecode.OpFMul:
+			res = a * b
+		case bytecode.OpFDiv:
+			res = a / b
+		}
+		f.push(heap.FloatVal(res))
+	case bytecode.OpFNeg:
+		a, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		f.push(heap.FloatVal(-a))
+
+	case bytecode.OpI2F:
+		a, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		f.push(heap.FloatVal(float64(a)))
+	case bytecode.OpF2I:
+		a, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		f.push(heap.IntVal(int64(a)))
+
+	case bytecode.OpICmp:
+		b, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		a, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		f.push(heap.IntVal(cmpInt(a, b)))
+	case bytecode.OpFCmp:
+		b, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		a, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		switch {
+		case a < b:
+			f.push(heap.IntVal(-1))
+		case a > b:
+			f.push(heap.IntVal(1))
+		default:
+			f.push(heap.IntVal(0))
+		}
+	case bytecode.OpSCmp:
+		sb, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		sa, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		switch {
+		case sa < sb:
+			f.push(heap.IntVal(-1))
+		case sa > sb:
+			f.push(heap.IntVal(1))
+		default:
+			f.push(heap.IntVal(0))
+		}
+	case bytecode.OpRefEq:
+		b, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		a, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		f.push(heap.BoolVal(a == b))
+
+	case bytecode.OpJmp:
+		f.PC = in.A
+		return nil
+	case bytecode.OpJz, bytecode.OpJnz:
+		c, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		if (c == 0) == (in.Op == bytecode.OpJz) {
+			f.PC = in.A
+			return nil
+		}
+
+	case bytecode.OpCall:
+		return vm.doCall(t, f, in.A)
+	case bytecode.OpRet, bytecode.OpRetV:
+		return vm.doReturn(t, in.Op == bytecode.OpRetV)
+
+	case bytecode.OpNew:
+		cls := &vm.prog.Classes[in.A]
+		r, err := vm.hp.AllocRecord(in.A, len(cls.Fields), cls.Finalizer >= 0)
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpGetF:
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		v, err := vm.hp.GetField(r, int(in.A))
+		if err != nil {
+			return err
+		}
+		f.push(v)
+	case bytecode.OpPutF:
+		v := f.pop()
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		if err := vm.hp.SetField(r, int(in.A), v); err != nil {
+			return err
+		}
+	case bytecode.OpGetS:
+		f.push(vm.statics[in.A])
+	case bytecode.OpPutS:
+		vm.statics[in.A] = f.pop()
+
+	case bytecode.OpNewArr:
+		n, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		var r heap.Ref
+		switch in.A {
+		case bytecode.ElemInt:
+			r, err = vm.hp.AllocIntArr(int(n))
+		case bytecode.ElemFloat:
+			r, err = vm.hp.AllocFloatArr(int(n))
+		default:
+			r, err = vm.hp.AllocRefArr(int(n))
+		}
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpALoad:
+		i, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		v, err := vm.hp.ArrGet(r, int(i))
+		if err != nil {
+			return err
+		}
+		f.push(v)
+	case bytecode.OpAStore:
+		v := f.pop()
+		i, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		if err := vm.hp.ArrSet(r, int(i), v); err != nil {
+			return err
+		}
+	case bytecode.OpALen:
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		n, err := vm.hp.ArrLen(r)
+		if err != nil {
+			return err
+		}
+		f.push(heap.IntVal(int64(n)))
+
+	case bytecode.OpSLen:
+		s, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		f.push(heap.IntVal(int64(len(s))))
+	case bytecode.OpSCat:
+		sb, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		sa, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		r, err := vm.hp.AllocString(sa + sb)
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpSIdx:
+		i, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		s, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		if i < 0 || i >= int64(len(s)) {
+			return fmt.Errorf("string index %d of %d: %w", i, len(s), heap.ErrIndexOOB)
+		}
+		f.push(heap.IntVal(int64(s[i])))
+	case bytecode.OpSSub:
+		end, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		start, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		s, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		if start < 0 || end < start || end > int64(len(s)) {
+			return fmt.Errorf("substring [%d,%d) of %d: %w", start, end, len(s), heap.ErrIndexOOB)
+		}
+		r, err := vm.hp.AllocString(s[start:end])
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpI2S:
+		a, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		r, err := vm.hp.AllocString(strconv.FormatInt(a, 10))
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpF2S:
+		a, err := wantFloat(f.pop())
+		if err != nil {
+			return err
+		}
+		r, err := vm.hp.AllocString(strconv.FormatFloat(a, 'g', -1, 64))
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpS2I:
+		s, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		n, perr := strconv.ParseInt(s, 10, 64)
+		if perr != nil {
+			n = 0
+		}
+		f.push(heap.IntVal(n))
+	case bytecode.OpChr:
+		a, err := wantInt(f.pop())
+		if err != nil {
+			return err
+		}
+		r, err := vm.hp.AllocString(string([]byte{byte(a)}))
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(r))
+	case bytecode.OpHashStr:
+		s, err := vm.popStr(f)
+		if err != nil {
+			return err
+		}
+		f.push(heap.IntVal(fnv64(s)))
+
+	case bytecode.OpMEnter:
+		r, err := wantRef(*f.top())
+		if err != nil {
+			return err
+		}
+		done, err := vm.monEnter(t, r)
+		if err != nil {
+			return err
+		}
+		if !done {
+			return nil // blocked or gated: re-execute on resume
+		}
+		f.pop()
+	case bytecode.OpMExit:
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		if err := vm.monExit(t, r); err != nil {
+			return err
+		}
+	case bytecode.OpWait:
+		r, err := wantRef(*f.top())
+		if err != nil {
+			return err
+		}
+		if t.reacquiring {
+			done, rerr := vm.reacquireAfterWait(t, r)
+			if rerr != nil {
+				return rerr
+			}
+			if !done {
+				return nil
+			}
+			f.pop() // wait completed
+		} else {
+			vm.stats.WaitOps++
+			if werr := vm.monWait(t, r); werr != nil {
+				return werr
+			}
+			return nil // now waiting; PC unchanged
+		}
+	case bytecode.OpNotify, bytecode.OpNotifyAll:
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		n := 1
+		if in.Op == bytecode.OpNotifyAll {
+			n = -1
+		}
+		vm.stats.NotifyOps++
+		if err := vm.monNotify(t, r, n); err != nil {
+			return err
+		}
+
+	case bytecode.OpSpawn:
+		if t.finalizerDepth > 0 {
+			return errors.New("finalizer spawned a thread (violates §4.3 determinism assumption)")
+		}
+		nargs := int(in.B)
+		args := make([]heap.Value, nargs)
+		for i := nargs - 1; i >= 0; i-- {
+			args[i] = f.pop()
+		}
+		child, err := vm.newThread(t, in.A, args)
+		if err != nil {
+			return err
+		}
+		f.push(heap.RefVal(child.Ref))
+	case bytecode.OpJoin:
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		if _, err := vm.hp.GetKind(r, heap.ObjThread); err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		f.PC++ // return past the join
+		t.pushFrame(vm.prog.Methods[vm.joinIdx], vm.joinIdx, []heap.Value{heap.RefVal(r)})
+		return nil
+	case bytecode.OpYield:
+		t.yielded = true
+	case bytecode.OpAlive:
+		r, err := wantRef(f.pop())
+		if err != nil {
+			return err
+		}
+		obj, err := vm.hp.GetKind(r, heap.ObjThread)
+		if err != nil {
+			return fmt.Errorf("alive: %w", err)
+		}
+		target := vm.threads[obj.Class]
+		f.push(heap.BoolVal(!target.logicallyDead))
+	case bytecode.OpMarkDead:
+		t.logicallyDead = true
+
+	case bytecode.OpHalt:
+		f.PC++
+		vm.halted = true
+		return nil
+
+	default:
+		return fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	f.PC++
+	return nil
+}
+
+func cmpInt(a, b int64) int64 {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func fnv64(s string) int64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h >> 1) // keep it non-negative for program convenience
+}
+
+func (vm *VM) popStr(f *Frame) (string, error) {
+	r, err := wantRef(f.pop())
+	if err != nil {
+		return "", err
+	}
+	return vm.hp.StringAt(r)
+}
+
+// doCall handles OpCall for both bytecode and native callees.
+func (vm *VM) doCall(t *Thread, f *Frame, methodIdx int32) error {
+	callee := vm.prog.Methods[methodIdx]
+	if callee.Native {
+		if def, ok := vm.natives.Lookup(callee.NativeSig); ok && vm.natives.Intercepted(def.Sig) {
+			if !vm.coord.NativeReady(vm, t, def) {
+				// Gate before popping args or advancing the pc: the call
+				// re-executes when the coordinator re-admits the thread.
+				// Undo this OpCall's branch tick so br_cnt counts the call
+				// exactly once.
+				t.BrCnt--
+				vm.stats.Branches--
+				t.state = StateGated
+				t.blockedOn = nil
+				return nil
+			}
+		}
+	}
+	nargs := callee.NArgs
+	args := make([]heap.Value, nargs)
+	for i := nargs - 1; i >= 0; i-- {
+		args[i] = f.pop()
+	}
+	f.PC++ // resume after the call
+	if !callee.Native {
+		t.pushFrame(callee, methodIdx, args)
+		return nil
+	}
+	def, ok := vm.natives.Lookup(callee.NativeSig)
+	if !ok {
+		return fmt.Errorf("%v %q", native.ErrUnknownNative, callee.NativeSig)
+	}
+	vm.stats.NativeCalls++
+	var results []heap.Value
+	var err error
+	if vm.natives.Intercepted(def.Sig) {
+		if t.finalizerDepth > 0 {
+			return fmt.Errorf("finalizer called intercepted native %s (violates §4.3 determinism assumption)", def.Sig)
+		}
+		t.NatSeq++
+		vm.stats.NMIntercepted++
+		if def.Output {
+			vm.stats.NMOutputCommits++
+		}
+		results, err = vm.coord.InvokeNative(vm, t, def, args)
+	} else {
+		results, err = vm.DirectNative(t, def, args)
+		if err != nil && def.AcquiresLocks && errors.Is(err, ErrMonitorContends) {
+			// The native hit a contended (or replay-gated) monitor and the
+			// thread is parked. Roll the call back — restore the operand
+			// stack and pc, and undo this attempt's counters — so the whole
+			// native re-executes when the thread is readmitted
+			// (AcquiresLocks natives are side-effect-free up to their first
+			// acquisition).
+			f.PC--
+			for _, a := range args {
+				f.push(a)
+			}
+			t.BrCnt--
+			vm.stats.Branches--
+			vm.stats.NativeCalls--
+			return nil
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if len(results) != def.Returns {
+		return fmt.Errorf("native %s returned %d values, want %d", def.Sig, len(results), def.Returns)
+	}
+	for _, v := range results {
+		f.push(v)
+	}
+	return nil
+}
+
+// doReturn pops the current frame; when the last frame returns, the thread
+// runs its death sequence ($finish) and then dies.
+func (vm *VM) doReturn(t *Thread, hasValue bool) error {
+	var ret heap.Value
+	if hasValue {
+		ret = t.frames[len(t.frames)-1].pop()
+	}
+	done := t.popFrame()
+	if done.finalizer {
+		t.finalizerDepth--
+	}
+	if len(t.frames) > 0 {
+		if hasValue {
+			t.frames[len(t.frames)-1].push(ret)
+		}
+		return nil
+	}
+	if !t.finishing {
+		t.finishing = true
+		t.pushFrame(vm.prog.Methods[vm.finishIdx], vm.finishIdx, []heap.Value{heap.RefVal(t.Ref)})
+		return nil
+	}
+	t.state = StateDead
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package vm implements the FTVM execution core: the set of bytecode
+// execution engines (BEEs, §3) — one per application thread — driven by a
+// cooperative green-thread scheduler on a single goroutine, with Java-style
+// monitors (reentrant locks, wait sets, notify), virtual thread ids, branch
+// counting, and the event/control interfaces (Coordinator) that the
+// replication layer plugs into.
+package vm
+
+import (
+	"strconv"
+
+	"repro/internal/bytecode"
+	"repro/internal/heap"
+)
+
+// ThreadState is the scheduling state of a thread.
+type ThreadState uint8
+
+// Thread states.
+const (
+	// StateRunnable threads may be scheduled.
+	StateRunnable ThreadState = iota + 1
+	// StateBlocked threads are contending for a monitor; they become
+	// runnable again when it is released and then re-execute the acquire.
+	StateBlocked
+	// StateWaiting threads sit in a monitor's wait set until notified.
+	StateWaiting
+	// StateGated threads are held back by the replay coordinator until
+	// their recorded turn arrives (§4.2 recovery).
+	StateGated
+	// StateDead threads have finished.
+	StateDead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateBlocked:
+		return "blocked"
+	case StateWaiting:
+		return "waiting"
+	case StateGated:
+		return "gated"
+	case StateDead:
+		return "dead"
+	default:
+		return "invalid"
+	}
+}
+
+// Frame is one activation record of a BEE.
+type Frame struct {
+	Method int32
+	PC     int32
+	Locals []heap.Value
+	Stack  []heap.Value
+	// finalizer marks frames pushed to run an object finalizer after GC.
+	finalizer bool
+}
+
+func (f *Frame) push(v heap.Value) { f.Stack = append(f.Stack, v) }
+
+func (f *Frame) pop() heap.Value {
+	v := f.Stack[len(f.Stack)-1]
+	f.Stack = f.Stack[:len(f.Stack)-1]
+	return v
+}
+
+func (f *Frame) top() *heap.Value { return &f.Stack[len(f.Stack)-1] }
+
+// Thread is one BEE: a virtual thread id, a frame stack, scheduling state,
+// and the progress counters replica coordination needs (br_cnt, mon_cnt,
+// t_asn, per-thread native and output sequence numbers).
+type Thread struct {
+	// Slot is the index in the VM's thread table (not stable across
+	// replicas — use VTID for cross-replica identity).
+	Slot int32
+	// VTID is the virtual thread id: the parent's id plus the relative
+	// order of creation among siblings ("0", "0.1", "0.1.2", …), which is
+	// identical at primary and backup regardless of scheduling (§4.2).
+	VTID string
+	// Ref is the heap thread-handle object.
+	Ref heap.Ref
+
+	childCount int
+
+	frames []Frame
+	state  ThreadState
+
+	// blockedOn is the monitor this thread contends for (StateBlocked),
+	// waits on (StateWaiting) or is gated on (StateGated, may be nil when
+	// gated on an id-map assignment).
+	blockedOn *Monitor
+	// reacquiring marks a thread resuming from wait: the re-executed OpWait
+	// acquires the monitor and restores savedEntries instead of waiting.
+	reacquiring  bool
+	savedEntries int
+	// waitLASN is the monitor's acquire sequence number observed when this
+	// thread blocked (cross-checked against scheduling records).
+	waitLASN uint64
+
+	// finishing marks that the synthetic $finish method has been pushed.
+	finishing bool
+	// logicallyDead is set by OpMarkDead inside $finish (under the thread
+	// object's monitor), making OpAlive race-free.
+	logicallyDead bool
+	// finalizerDepth counts active finalizer frames; while positive the
+	// thread must not use monitors, spawn threads or call intercepted
+	// natives (the deterministic-finalizer assumption of §4.3, enforced).
+	finalizerDepth int
+
+	yielded bool
+
+	// Progress is the per-bytecode snapshot published when the VM runs
+	// with TrackProgress (replicated thread scheduling).
+	Progress ProgressSnapshot
+
+	// Progress counters (§4.2).
+	BrCnt  uint64 // control-flow changes executed
+	MonCnt uint64 // monitor acquisitions + releases
+	TASN   uint64 // locks acquired so far (thread acquire sequence number)
+	NatSeq uint64 // intercepted native invocations so far
+	OutSeq uint64 // output sequence number (per-thread, deterministic)
+}
+
+// State returns the scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Top returns the active frame (nil when the thread has no frames).
+func (t *Thread) Top() *Frame {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return &t.frames[len(t.frames)-1]
+}
+
+// Depth returns the call depth.
+func (t *Thread) Depth() int { return len(t.frames) }
+
+// BlockedOn returns the monitor the thread is blocked/waiting/gated on.
+func (t *Thread) BlockedOn() *Monitor { return t.blockedOn }
+
+func (t *Thread) pushFrame(m *bytecode.Method, method int32, args []heap.Value) {
+	locals := make([]heap.Value, m.NLocals)
+	copy(locals, args)
+	for i := len(args); i < m.NLocals; i++ {
+		locals[i] = heap.Null()
+	}
+	t.frames = append(t.frames, Frame{Method: method, Locals: locals, Stack: make([]heap.Value, 0, 8)})
+}
+
+func (t *Thread) popFrame() Frame {
+	f := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	return f
+}
+
+func childVTID(parent *Thread) string {
+	parent.childCount++
+	return parent.VTID + "." + strconv.Itoa(parent.childCount)
+}
+
+// ProgressSnapshot is the thread-object progress record maintained after
+// every bytecode under TrackProgress (§4.2). Chk is a rolling checksum of
+// the thread's control path (every pc visited); the backup cross-checks it
+// at each replayed switch, so divergence anywhere inside a scheduling
+// interval is caught, not just divergence of the interval endpoints.
+type ProgressSnapshot struct {
+	Method int32
+	PC     int32
+	BrCnt  uint64
+	MonCnt uint64
+	Chk    uint64
+}

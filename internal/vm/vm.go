@@ -1,0 +1,551 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bytecode"
+	"repro/internal/env"
+	"repro/internal/heap"
+	"repro/internal/native"
+)
+
+// Stats are the per-run counters the experiment harness reports (Table 2).
+type Stats struct {
+	Instructions    uint64 // bytecodes executed
+	Branches        uint64 // control-flow changes (br_cnt total)
+	LocksAcquired   uint64 // real (non-reentrant) monitor acquisitions
+	ObjectsLocked   uint64 // unique objects whose monitor was ever acquired
+	LargestLASN     uint64 // max lock acquire sequence number
+	Reschedules     uint64 // context switches (different thread dispatched)
+	NativeCalls     uint64 // all native invocations
+	NMIntercepted   uint64 // intercepted native invocations (§4.1)
+	NMOutputCommits uint64 // output-commit events (§3.4)
+	ThreadsSpawned  uint64
+	WaitOps         uint64
+	NotifyOps       uint64
+	GCs             uint64
+	FinalizersRun   uint64
+}
+
+// Config configures a VM.
+type Config struct {
+	// Program is the verified program to execute (required).
+	Program *bytecode.Program
+	// Env is the simulated environment (required).
+	Env *env.Env
+	// Natives is the native-method registry (native.StdLib() if nil).
+	Natives *native.Registry
+	// Coordinator supplies replica coordination (standalone default if nil).
+	Coordinator Coordinator
+	// GCThreshold triggers automatic collection at this live-object count
+	// (default 1<<20; negative disables automatic GC).
+	GCThreshold int
+	// MaxInstructions aborts runaway programs (0 = unlimited).
+	MaxInstructions uint64
+	// SoftRefsCollectable lets GC clear soft references under memory
+	// pressure. The fault-tolerant default is false: soft references are
+	// treated as strong so replicas cannot diverge on cache hits (§4.3).
+	SoftRefsCollectable bool
+	// TrackProgress makes the interpreter publish each thread's progress
+	// indicators (method, pc offset, br_cnt, mon_cnt) into the thread
+	// object after every bytecode — the bookkeeping replicated thread
+	// scheduling requires ("this requires an update to the thread object
+	// after executing every bytecode", §4.2). This per-instruction cost is
+	// what dominates the Misc overhead in Figure 4.
+	TrackProgress bool
+}
+
+// Errors returned by Run.
+var (
+	ErrHalted        = errors.New("vm already ran")
+	ErrInstrBudget   = errors.New("instruction budget exhausted")
+	ErrBadNativeBind = errors.New("native method binding mismatch")
+)
+
+// FatalError is a fatal run-time-environment error (R0): it aborts the VM
+// and is deliberately NOT replicated to the backup.
+type FatalError struct {
+	TID string
+	PC  int32
+	Err error
+}
+
+func (e *FatalError) Error() string {
+	return fmt.Sprintf("fatal vm error (thread %s, pc %d): %v", e.TID, e.PC, e.Err)
+}
+
+func (e *FatalError) Unwrap() error { return e.Err }
+
+// VM is one replica: a set of BEEs over a shared heap, statics, monitors and
+// an environment attachment.
+type VM struct {
+	prog    *bytecode.Program
+	hp      *heap.Heap
+	environ *env.Env
+	proc    *env.Process
+	natives *native.Registry
+	coord   Coordinator
+
+	statics  []heap.Value
+	threads  []*Thread
+	monitors map[heap.Ref]*Monitor
+
+	joinIdx   int32
+	finishIdx int32
+
+	handlerState map[string]any
+
+	isBranch [256]bool
+
+	cur           *Thread
+	halted        bool
+	ran           bool
+	trackProgress bool
+	killed        atomic.Bool
+	runErr        error
+	instrCap      uint64
+	stats         Stats
+}
+
+// New builds a VM for cfg. The program is augmented with the synthetic
+// $joinwait/$finish methods that route thread join and death through
+// ordinary monitors, so they replicate exactly like application
+// synchronization.
+func New(cfg Config) (*VM, error) {
+	if cfg.Program == nil {
+		return nil, errors.New("vm: nil program")
+	}
+	if cfg.Env == nil {
+		return nil, errors.New("vm: nil environment")
+	}
+	reg := cfg.Natives
+	if reg == nil {
+		reg = native.StdLib()
+	}
+	coord := cfg.Coordinator
+	if coord == nil {
+		coord = NewDefaultCoordinator(nil)
+	}
+	prog, joinIdx, finishIdx := augment(cfg.Program)
+	if err := bindNatives(prog, reg); err != nil {
+		return nil, err
+	}
+	threshold := cfg.GCThreshold
+	if threshold == 0 {
+		threshold = 1 << 20
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	v := &VM{
+		prog:         prog,
+		hp:           heap.New(heap.WithGCThreshold(threshold)),
+		environ:      cfg.Env,
+		proc:         cfg.Env.Attach(),
+		natives:      reg,
+		coord:        coord,
+		monitors:     make(map[heap.Ref]*Monitor),
+		joinIdx:      joinIdx,
+		finishIdx:    finishIdx,
+		handlerState: make(map[string]any),
+		instrCap:     cfg.MaxInstructions,
+	}
+	v.trackProgress = cfg.TrackProgress
+	v.hp.SoftAsStrong = !cfg.SoftRefsCollectable
+	v.statics = make([]heap.Value, len(prog.Statics))
+	for i := range v.statics {
+		v.statics[i] = heap.Null()
+	}
+	for op, info := range opTableView() {
+		v.isBranch[op] = info
+	}
+	return v, nil
+}
+
+// opTableView exposes the branch property per opcode without exporting the
+// bytecode package's internal table.
+func opTableView() map[bytecode.Opcode]bool {
+	out := make(map[bytecode.Opcode]bool, 64)
+	for op := bytecode.Opcode(1); op < 128; op++ {
+		if op.String() == "op?" {
+			continue
+		}
+		out[op] = op.IsBranch()
+	}
+	return out
+}
+
+// augment clones p and appends the synthetic methods.
+func augment(p *bytecode.Program) (*bytecode.Program, int32, int32) {
+	clone := *p
+	clone.Methods = make([]*bytecode.Method, len(p.Methods), len(p.Methods)+2)
+	copy(clone.Methods, p.Methods)
+
+	joinIdx := int32(len(clone.Methods))
+	clone.Methods = append(clone.Methods, &bytecode.Method{
+		Name: "$joinwait", NArgs: 1, NLocals: 1,
+		Code: []bytecode.Instr{
+			{Op: bytecode.OpLoad, A: 0}, // 0
+			{Op: bytecode.OpMEnter},     // 1
+			{Op: bytecode.OpLoad, A: 0}, // 2: check
+			{Op: bytecode.OpAlive},      // 3
+			{Op: bytecode.OpJz, A: 8},   // 4 -> exit
+			{Op: bytecode.OpLoad, A: 0}, // 5
+			{Op: bytecode.OpWait},       // 6
+			{Op: bytecode.OpJmp, A: 2},  // 7 -> check
+			{Op: bytecode.OpLoad, A: 0}, // 8: exit
+			{Op: bytecode.OpMExit},      // 9
+			{Op: bytecode.OpRet},        // 10
+		},
+	})
+	finishIdx := int32(len(clone.Methods))
+	clone.Methods = append(clone.Methods, &bytecode.Method{
+		Name: "$finish", NArgs: 1, NLocals: 1,
+		Code: []bytecode.Instr{
+			{Op: bytecode.OpLoad, A: 0},
+			{Op: bytecode.OpMEnter},
+			{Op: bytecode.OpMarkDead},
+			{Op: bytecode.OpLoad, A: 0},
+			{Op: bytecode.OpNotifyAll},
+			{Op: bytecode.OpLoad, A: 0},
+			{Op: bytecode.OpMExit},
+			{Op: bytecode.OpRet},
+		},
+	})
+	return &clone, joinIdx, finishIdx
+}
+
+// bindNatives checks every native stub against the registry.
+func bindNatives(p *bytecode.Program, reg *native.Registry) error {
+	for _, m := range p.Methods {
+		if !m.Native {
+			continue
+		}
+		def, ok := reg.Lookup(m.NativeSig)
+		if !ok {
+			return fmt.Errorf("%w: %s: %v %q", ErrBadNativeBind, m.Name, native.ErrUnknownNative, m.NativeSig)
+		}
+		if def.Arity != m.NArgs {
+			return fmt.Errorf("%w: %s: arity %d vs native %d", ErrBadNativeBind, m.Name, m.NArgs, def.Arity)
+		}
+		want := 0
+		if m.Returns {
+			want = 1
+		}
+		if def.Returns != want {
+			return fmt.Errorf("%w: %s: returns %d vs native %d", ErrBadNativeBind, m.Name, want, def.Returns)
+		}
+		if def.AcquiresLocks && reg.Intercepted(def.Sig) {
+			return fmt.Errorf("%w: %s: a native cannot be both intercepted and lock-acquiring", ErrBadNativeBind, m.Name)
+		}
+	}
+	return nil
+}
+
+// TrackingProgress reports whether per-bytecode progress publication is on.
+func (vm *VM) TrackingProgress() bool { return vm.trackProgress }
+
+// Program returns the (augmented) program under execution.
+func (vm *VM) Program() *bytecode.Program { return vm.prog }
+
+// Heap returns the object heap.
+func (vm *VM) Heap() *heap.Heap { return vm.hp }
+
+// Environment returns the shared environment.
+func (vm *VM) Environment() *env.Env { return vm.environ }
+
+// Process returns the volatile environment attachment.
+func (vm *VM) Process() *env.Process { return vm.proc }
+
+// Natives returns the native registry.
+func (vm *VM) Natives() *native.Registry { return vm.natives }
+
+// Stats returns a copy of the run counters.
+func (vm *VM) Stats() Stats { return vm.stats }
+
+// Threads returns the thread table (live view; do not mutate).
+func (vm *VM) Threads() []*Thread { return vm.threads }
+
+// ThreadByVTID resolves a virtual thread id.
+func (vm *VM) ThreadByVTID(vtid string) *Thread {
+	for _, t := range vm.threads {
+		if t.VTID == vtid {
+			return t
+		}
+	}
+	return nil
+}
+
+// Statics returns the static slot values (live view).
+func (vm *VM) Statics() []heap.Value { return vm.statics }
+
+// Monitors returns the monitor table (live view).
+func (vm *VM) Monitors() map[heap.Ref]*Monitor { return vm.monitors }
+
+// Ungate makes a replay-gated thread runnable again; it re-executes its
+// pending acquisition, re-consulting the coordinator.
+func (vm *VM) Ungate(t *Thread) {
+	if t.state == StateGated {
+		t.state = StateRunnable
+	}
+}
+
+// SetHandlerState installs side-effect-handler state visible to natives.
+func (vm *VM) SetHandlerState(name string, state any) { vm.handlerState[name] = state }
+
+// Kill simulates a fail-stop failure: the VM stops executing at the next
+// instruction boundary and its volatile environment state is discarded.
+// It is safe to call from another goroutine.
+func (vm *VM) Kill() { vm.killed.Store(true) }
+
+// Killed reports whether Kill was called.
+func (vm *VM) Killed() bool { return vm.killed.Load() }
+
+// newThread creates and registers a thread executing method with args.
+func (vm *VM) newThread(parent *Thread, method int32, args []heap.Value) (*Thread, error) {
+	slot := int32(len(vm.threads))
+	vtid := "0"
+	if parent != nil {
+		vtid = childVTID(parent)
+	}
+	ref, err := vm.hp.AllocThread(slot)
+	if err != nil {
+		return nil, err
+	}
+	t := &Thread{Slot: slot, VTID: vtid, Ref: ref, state: StateRunnable}
+	t.pushFrame(vm.prog.Methods[method], method, args)
+	vm.threads = append(vm.threads, t)
+	if parent != nil {
+		vm.stats.ThreadsSpawned++
+	}
+	return t, nil
+}
+
+// Run executes the program to completion (all threads dead or OpHalt) and
+// returns the first fatal error, if any. A VM can run only once.
+func (vm *VM) Run() error {
+	if vm.ran {
+		return ErrHalted
+	}
+	vm.ran = true
+	if _, err := vm.newThread(nil, vm.prog.Entry, nil); err != nil {
+		return fmt.Errorf("spawn main: %w", err)
+	}
+	vm.runErr = vm.loop()
+	if cerr := vm.coord.OnHalt(vm, vm.runErr); cerr != nil && vm.runErr == nil {
+		vm.runErr = cerr
+	}
+	return vm.runErr
+}
+
+func (vm *VM) loop() error {
+	var runnable []*Thread
+	for !vm.halted && !vm.killed.Load() {
+		if _, err := vm.coord.Poll(vm); err != nil {
+			return err
+		}
+		runnable = runnable[:0]
+		allDead := true
+		for _, t := range vm.threads {
+			switch t.state {
+			case StateRunnable:
+				runnable = append(runnable, t)
+				allDead = false
+			case StateDead:
+			default:
+				allDead = false
+			}
+		}
+		if allDead {
+			return nil
+		}
+		if len(runnable) == 0 {
+			retry, err := vm.coord.OnIdle(vm)
+			if err != nil {
+				return err
+			}
+			if !retry {
+				return vm.deadlockError()
+			}
+			continue
+		}
+		next, target, err := vm.coord.PickNext(vm, runnable, vm.cur)
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			// No dispatch allowed right now (replay waiting for records).
+			retry, err := vm.coord.OnIdle(vm)
+			if err != nil {
+				return err
+			}
+			if !retry {
+				return vm.deadlockError()
+			}
+			continue
+		}
+		if next != vm.cur {
+			if err := vm.coord.OnDescheduled(vm, vm.cur, next); err != nil {
+				return err
+			}
+			if vm.cur != nil {
+				vm.stats.Reschedules++
+			}
+		}
+		vm.cur = next
+		if err := vm.runSlice(next, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (vm *VM) deadlockError() error {
+	detail := ""
+	for _, t := range vm.threads {
+		if t.state != StateDead {
+			detail += fmt.Sprintf(" [%s %s", t.VTID, t.state)
+			if t.blockedOn != nil {
+				detail += fmt.Sprintf(" on lid=%d @%d", t.blockedOn.LID, t.blockedOn.Ref)
+			}
+			detail += "]"
+		}
+	}
+	return fmt.Errorf("%w:%s", ErrDeadlock, detail)
+}
+
+// runSlice interprets t until preemption, blocking, death or halt. With an
+// exact target (replay), the slice stops only when the thread reaches the
+// recorded (br_cnt, method, pc) position; reaching the branch count at a
+// different position keeps executing the (branch-free, hence br_cnt-stable)
+// tail until the position matches.
+func (vm *VM) runSlice(t *Thread, target SliceTarget) error {
+	for {
+		if vm.halted || t.state != StateRunnable || vm.killed.Load() {
+			return nil
+		}
+		if target.Exact && target.StopRunnable && t.BrCnt == target.Br {
+			if f := t.Top(); f != nil && f.Method == target.Method && f.PC == target.PC {
+				return nil
+			}
+		}
+		if vm.hp.NeedsGC() {
+			if err := vm.runGC(t); err != nil {
+				return vm.fatal(t, err)
+			}
+		}
+		if err := vm.step(t); err != nil {
+			return vm.fatal(t, err)
+		}
+		if vm.trackProgress {
+			// Publish the progress indicators into the thread object after
+			// every bytecode (§4.2) — the scheduling records read them —
+			// and fold the position into the control-path checksum.
+			if f := t.Top(); f != nil {
+				t.Progress.Method = f.Method
+				t.Progress.PC = f.PC
+			} else {
+				t.Progress.Method = -1
+				t.Progress.PC = -1
+			}
+			t.Progress.BrCnt = t.BrCnt
+			t.Progress.MonCnt = t.MonCnt
+			t.Progress.Chk = t.Progress.Chk*1099511628211 ^
+				(uint64(uint32(t.Progress.Method))<<32 | uint64(uint32(t.Progress.PC)))
+		}
+		vm.stats.Instructions++
+		if vm.instrCap > 0 && vm.stats.Instructions > vm.instrCap {
+			return vm.fatal(t, ErrInstrBudget)
+		}
+		if target.Exact {
+			if t.BrCnt > target.Br {
+				// Ran past the recorded switch point: let the coordinator
+				// diagnose the divergence at the next dispatch.
+				return nil
+			}
+		} else if t.BrCnt >= target.Br {
+			return nil
+		}
+		if t.yielded {
+			t.yielded = false
+			return nil
+		}
+	}
+}
+
+func (vm *VM) fatal(t *Thread, err error) error {
+	vm.halted = true
+	var pc int32 = -1
+	if f := t.Top(); f != nil {
+		pc = f.PC
+	}
+	return &FatalError{TID: t.VTID, PC: pc, Err: err}
+}
+
+// RunGC is the synchronous collection entry point used by the sys.gc native.
+func (vm *VM) RunGC(t *Thread) error { return vm.runGC(t) }
+
+// runGC collects garbage and schedules pending finalizers on t.
+func (vm *VM) runGC(t *Thread) error {
+	vm.stats.GCs++
+	vm.hp.GC(func(mark func(heap.Ref)) {
+		for _, s := range vm.statics {
+			if s.Kind == heap.KindRef {
+				mark(s.R)
+			}
+		}
+		for _, th := range vm.threads {
+			mark(th.Ref)
+			for fi := range th.frames {
+				f := &th.frames[fi]
+				for _, v := range f.Locals {
+					if v.Kind == heap.KindRef {
+						mark(v.R)
+					}
+				}
+				for _, v := range f.Stack {
+					if v.Kind == heap.KindRef {
+						mark(v.R)
+					}
+				}
+			}
+		}
+		for ref, m := range vm.monitors {
+			if m.owner != nil || len(m.queue) > 0 || len(m.waitSet) > 0 {
+				mark(ref)
+			}
+		}
+	})
+	// Drop monitors of collected, inactive objects.
+	for ref, m := range vm.monitors {
+		if m.owner == nil && len(m.queue) == 0 && len(m.waitSet) == 0 {
+			if _, err := vm.hp.Get(ref); err != nil {
+				delete(vm.monitors, ref)
+			}
+		}
+	}
+	// Run finalizers on the triggering thread, in deterministic queue order
+	// (frames are LIFO, so push in reverse).
+	queue := vm.hp.DrainFinalizeQueue()
+	for i := len(queue) - 1; i >= 0; i-- {
+		ref := queue[i]
+		obj, err := vm.hp.Get(ref)
+		if err != nil {
+			return fmt.Errorf("finalize @%d: %w", ref, err)
+		}
+		if obj.Kind != heap.ObjRecord || obj.Class < 0 {
+			continue
+		}
+		fin := vm.prog.Classes[obj.Class].Finalizer
+		if fin < 0 {
+			continue
+		}
+		t.pushFrame(vm.prog.Methods[fin], fin, []heap.Value{heap.RefVal(ref)})
+		t.frames[len(t.frames)-1].finalizer = true
+		t.finalizerDepth++
+		vm.stats.FinalizersRun++
+	}
+	return nil
+}

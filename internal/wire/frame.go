@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is a batch of encoded records shipped primary→backup. AckWanted is
+// set on output-commit flushes: the primary blocks until the backup
+// acknowledges Seq (the pessimism of §3.4).
+type Frame struct {
+	Seq       uint64
+	AckWanted bool
+	Payload   []byte
+}
+
+// EncodeFrame serialises f.
+func EncodeFrame(f *Frame) []byte {
+	var hdr [2*binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(hdr[:], f.Seq)
+	if f.AckWanted {
+		hdr[n] = 1
+	} else {
+		hdr[n] = 0
+	}
+	n++
+	n += binary.PutUvarint(hdr[n:], uint64(len(f.Payload)))
+	out := make([]byte, 0, n+len(f.Payload))
+	out = append(out, hdr[:n]...)
+	out = append(out, f.Payload...)
+	return out
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame.
+func DecodeFrame(b []byte) (*Frame, error) {
+	seq, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated frame seq", ErrBadRecord)
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: truncated frame flags", ErrBadRecord)
+	}
+	ackWanted := b[0] == 1
+	b = b[1:]
+	plen, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated frame length", ErrBadRecord)
+	}
+	b = b[n:]
+	if uint64(len(b)) < plen {
+		return nil, fmt.Errorf("%w: short frame payload (%d < %d)", ErrBadRecord, len(b), plen)
+	}
+	payload := make([]byte, plen)
+	copy(payload, b[:plen])
+	return &Frame{Seq: seq, AckWanted: ackWanted, Payload: payload}, nil
+}
+
+// EncodeAck serialises an acknowledgement for frame seq.
+func EncodeAck(seq uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], seq)
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	return out
+}
+
+// DecodeAck parses an acknowledgement.
+func DecodeAck(b []byte) (uint64, error) {
+	seq, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated ack", ErrBadRecord)
+	}
+	return seq, nil
+}

@@ -1,0 +1,427 @@
+// Package wire defines the replication log record types and their binary
+// wire format: lock acquisition records and id maps (§4.2, replicated lock
+// synchronization), thread scheduling records (§4.2, replicated thread
+// scheduling), native-method result records (§4.1), output-commit intent
+// markers (§3.4), and the framing/ack protocol spoken over a transport.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RecType tags a record on the wire.
+type RecType uint8
+
+// Record types.
+const (
+	RecInvalid RecType = iota
+	RecIDMap
+	RecLockAcq
+	RecSwitch
+	RecNativeResult
+	RecOutputIntent
+	RecHeartbeat
+	RecHalt
+	RecLockInterval
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecIDMap:
+		return "idmap"
+	case RecLockAcq:
+		return "lockacq"
+	case RecSwitch:
+		return "switch"
+	case RecNativeResult:
+		return "native"
+	case RecOutputIntent:
+		return "output"
+	case RecHeartbeat:
+		return "heartbeat"
+	case RecHalt:
+		return "halt"
+	case RecLockInterval:
+		return "lockinterval"
+	default:
+		return "invalid"
+	}
+}
+
+// Record is any replication log record.
+type Record interface {
+	Type() RecType
+}
+
+// IDMap associates a virtual lock id with the thread acquisition that first
+// acquired the lock at the primary: (l_id, t_id, t_asn).
+type IDMap struct {
+	LID  int64
+	TID  string
+	TASN uint64
+}
+
+// Type implements Record.
+func (*IDMap) Type() RecType { return RecIDMap }
+
+// LockAcq is a lock acquisition record: (t_id, t_asn, l_id, l_asn).
+type LockAcq struct {
+	TID  string
+	TASN uint64
+	LID  int64
+	LASN uint64
+}
+
+// Type implements Record.
+func (*LockAcq) Type() RecType { return RecLockAcq }
+
+// LockInterval is the compressed form of a run of lock acquisition records
+// (the DejaVu-style logical intervals of §6): thread TID performed Count
+// consecutive monitor acquisitions — with no interleaved acquisition by any
+// other thread — starting at its acquire sequence number StartTASN. Because
+// threads execute deterministic programs, the interval's global position
+// fully determines which locks were acquired; neither l_ids nor id maps are
+// needed.
+type LockInterval struct {
+	TID       string
+	StartTASN uint64
+	Count     uint64
+}
+
+// Type implements Record.
+func (*LockInterval) Type() RecType { return RecLockInterval }
+
+// Switch is a thread scheduling record: the progress indicators of the
+// descheduled thread plus the id of the next scheduled thread:
+// (br_cnt, pc_off, mon_cnt, l_asn, t_id) per §4.2.
+type Switch struct {
+	TID       string // descheduled thread ("" at the very first dispatch)
+	BrCnt     uint64 // cumulative control-flow changes executed by TID
+	MethodIdx int32  // method executing at deschedule (progress cross-check)
+	PCOff     int32  // bytecode offset within that method
+	MonCnt    uint64 // monitor acquisitions+releases performed by TID
+	LASN      uint64 // acquire seq number of the monitor TID waits on (0 none)
+	Reason    uint8  // thread state at deschedule (vm.ThreadState): blocking
+	//               // instructions run in phases at one (br_cnt, pc), so the
+	//               // state disambiguates which phase the switch landed on
+	Chk     uint64 // rolling control-path checksum (divergence detection)
+	NextTID string // thread scheduled next
+}
+
+// Type implements Record.
+func (*Switch) Type() RecType { return RecSwitch }
+
+// WireValue is a replica-independent encoding of a native-method result:
+// heap references are flattened (only null and string referents may cross
+// the wire; other reference results would be meaningless at the backup).
+type WireValue struct {
+	Kind uint8 // 0 null, 1 int, 2 float, 3 string
+	I    int64
+	F    float64
+	S    string
+}
+
+// WireValue kinds.
+const (
+	WireNull uint8 = iota
+	WireInt
+	WireFloat
+	WireStr
+)
+
+// NativeResult logs the results of one intercepted native-method invocation:
+// the invoking thread, its per-thread native sequence number, the method
+// signature, the result values, and opaque side-effect-handler state
+// produced by the handler's log method.
+type NativeResult struct {
+	TID         string
+	NatSeq      uint64
+	Sig         string
+	Results     []WireValue
+	HandlerData []byte
+}
+
+// Type implements Record.
+func (*NativeResult) Type() RecType { return RecNativeResult }
+
+// OutputIntent marks an output commit point: the primary logs it, flushes,
+// and waits for an ack before performing the output (§3.4). If it is the
+// final record in the log, the output's completion is uncertain and must be
+// tested or idempotently replayed during recovery.
+type OutputIntent struct {
+	TID         string
+	NatSeq      uint64
+	Sig         string
+	OutSeq      uint64
+	HandlerData []byte
+}
+
+// Type implements Record.
+func (*OutputIntent) Type() RecType { return RecOutputIntent }
+
+// Heartbeat carries liveness from primary to backup.
+type Heartbeat struct {
+	Seq uint64
+}
+
+// Type implements Record.
+func (*Heartbeat) Type() RecType { return RecHeartbeat }
+
+// Halt marks a clean, final shutdown of the primary (no failover needed).
+type Halt struct{}
+
+// Type implements Record.
+func (*Halt) Type() RecType { return RecHalt }
+
+// ErrBadRecord is wrapped by all decoding failures.
+var ErrBadRecord = errors.New("bad wire record")
+
+// Buffer accumulates encoded records.
+type Buffer struct {
+	b   []byte
+	tmp [binary.MaxVarintLen64]byte
+	n   int // record count
+}
+
+// Len returns the byte length of the encoded records.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Count returns the number of records appended.
+func (w *Buffer) Count() int { return w.n }
+
+// Bytes returns the encoded records (valid until the next Append/Reset).
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Reset clears the buffer.
+func (w *Buffer) Reset() { w.b = w.b[:0]; w.n = 0 }
+
+func (w *Buffer) u8(v uint8)     { w.b = append(w.b, v) }
+func (w *Buffer) uv(v uint64)    { w.b = append(w.b, w.tmp[:binary.PutUvarint(w.tmp[:], v)]...) }
+func (w *Buffer) sv(v int64)     { w.b = append(w.b, w.tmp[:binary.PutVarint(w.tmp[:], v)]...) }
+func (w *Buffer) str(s string)   { w.uv(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *Buffer) bytes(p []byte) { w.uv(uint64(len(p))); w.b = append(w.b, p...) }
+
+// Append encodes r into the buffer.
+func (w *Buffer) Append(r Record) error {
+	w.u8(uint8(r.Type()))
+	switch rec := r.(type) {
+	case *IDMap:
+		w.sv(rec.LID)
+		w.str(rec.TID)
+		w.uv(rec.TASN)
+	case *LockAcq:
+		w.str(rec.TID)
+		w.uv(rec.TASN)
+		w.sv(rec.LID)
+		w.uv(rec.LASN)
+	case *Switch:
+		w.str(rec.TID)
+		w.uv(rec.BrCnt)
+		w.sv(int64(rec.MethodIdx))
+		w.sv(int64(rec.PCOff))
+		w.uv(rec.MonCnt)
+		w.uv(rec.LASN)
+		w.u8(rec.Reason)
+		w.uv(rec.Chk)
+		w.str(rec.NextTID)
+	case *NativeResult:
+		w.str(rec.TID)
+		w.uv(rec.NatSeq)
+		w.str(rec.Sig)
+		w.uv(uint64(len(rec.Results)))
+		for _, v := range rec.Results {
+			w.u8(v.Kind)
+			switch v.Kind {
+			case WireInt:
+				w.sv(v.I)
+			case WireFloat:
+				w.uv(math.Float64bits(v.F))
+			case WireStr:
+				w.str(v.S)
+			}
+		}
+		w.bytes(rec.HandlerData)
+	case *OutputIntent:
+		w.str(rec.TID)
+		w.uv(rec.NatSeq)
+		w.str(rec.Sig)
+		w.uv(rec.OutSeq)
+		w.bytes(rec.HandlerData)
+	case *LockInterval:
+		w.str(rec.TID)
+		w.uv(rec.StartTASN)
+		w.uv(rec.Count)
+	case *Heartbeat:
+		w.uv(rec.Seq)
+	case *Halt:
+	default:
+		return fmt.Errorf("%w: unknown record type %T", ErrBadRecord, r)
+	}
+	w.n++
+	return nil
+}
+
+// Decoder reads records from an encoded byte stream.
+type Decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+// NewDecoder returns a decoder over b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// More reports whether records remain and no error has occurred.
+func (d *Decoder) More() bool { return d.err == nil && d.pos < len(d.b) }
+
+// Err returns the first decoding error.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrBadRecord, msg, d.pos)
+	}
+}
+
+func (d *Decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *Decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *Decoder) sv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *Decoder) str() string {
+	n := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.pos) < n {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *Decoder) bytes() []byte {
+	n := d.uv()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)-d.pos) < n {
+		d.fail("truncated bytes")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.pos:d.pos+int(n)])
+	d.pos += int(n)
+	return out
+}
+
+// Next decodes the next record.
+func (d *Decoder) Next() (Record, error) {
+	t := RecType(d.u8())
+	if d.err != nil {
+		return nil, d.err
+	}
+	var r Record
+	switch t {
+	case RecIDMap:
+		r = &IDMap{LID: d.sv(), TID: d.str(), TASN: d.uv()}
+	case RecLockAcq:
+		r = &LockAcq{TID: d.str(), TASN: d.uv(), LID: d.sv(), LASN: d.uv()}
+	case RecSwitch:
+		r = &Switch{
+			TID: d.str(), BrCnt: d.uv(),
+			MethodIdx: int32(d.sv()), PCOff: int32(d.sv()),
+			MonCnt: d.uv(), LASN: d.uv(), Reason: d.u8(), Chk: d.uv(), NextTID: d.str(),
+		}
+	case RecNativeResult:
+		rec := &NativeResult{TID: d.str(), NatSeq: d.uv(), Sig: d.str()}
+		n := d.uv()
+		if d.err == nil && n > 1<<16 {
+			d.fail("implausible result count")
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			v := WireValue{Kind: d.u8()}
+			switch v.Kind {
+			case WireNull:
+			case WireInt:
+				v.I = d.sv()
+			case WireFloat:
+				v.F = math.Float64frombits(d.uv())
+			case WireStr:
+				v.S = d.str()
+			default:
+				d.fail("bad wire value kind")
+			}
+			rec.Results = append(rec.Results, v)
+		}
+		rec.HandlerData = d.bytes()
+		r = rec
+	case RecOutputIntent:
+		r = &OutputIntent{TID: d.str(), NatSeq: d.uv(), Sig: d.str(), OutSeq: d.uv(), HandlerData: d.bytes()}
+	case RecLockInterval:
+		r = &LockInterval{TID: d.str(), StartTASN: d.uv(), Count: d.uv()}
+	case RecHeartbeat:
+		r = &Heartbeat{Seq: d.uv()}
+	case RecHalt:
+		r = &Halt{}
+	default:
+		d.fail(fmt.Sprintf("unknown record type %d", t))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+// DecodeAll decodes every record in b.
+func DecodeAll(b []byte) ([]Record, error) {
+	d := NewDecoder(b)
+	var out []Record
+	for d.More() {
+		r, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		&IDMap{LID: 42, TID: "0.1", TASN: 7},
+		&LockAcq{TID: "0.1", TASN: 7, LID: 42, LASN: 99},
+		&Switch{TID: "0", BrCnt: 123456, MethodIdx: 3, PCOff: 17, MonCnt: 9, LASN: 2, Reason: 1, NextTID: "0.2"},
+		&NativeResult{
+			TID: "0.2", NatSeq: 5, Sig: "sys.clock",
+			Results: []WireValue{
+				{Kind: WireInt, I: -77},
+				{Kind: WireFloat, F: 3.25},
+				{Kind: WireStr, S: "hello"},
+				{Kind: WireNull},
+			},
+			HandlerData: []byte{1, 2, 3},
+		},
+		&OutputIntent{TID: "0", NatSeq: 1, Sig: "io.print", OutSeq: 12, HandlerData: nil},
+		&Heartbeat{Seq: 8},
+		&Halt{},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf Buffer
+	records := sampleRecords()
+	for _, r := range records {
+		if err := buf.Append(r); err != nil {
+			t.Fatalf("append %T: %v", r, err)
+		}
+	}
+	if buf.Count() != len(records) {
+		t.Fatalf("count = %d", buf.Count())
+	}
+	decoded, err := DecodeAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(records))
+	}
+	for i := range records {
+		want, got := records[i], decoded[i]
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Fatalf("record %d: %#v != %#v", i, got, want)
+		}
+	}
+}
+
+// normalize maps empty slices to nil for DeepEqual.
+func normalize(r Record) Record {
+	if nr, ok := r.(*NativeResult); ok {
+		cp := *nr
+		if len(cp.HandlerData) == 0 {
+			cp.HandlerData = nil
+		}
+		return &cp
+	}
+	if oi, ok := r.(*OutputIntent); ok {
+		cp := *oi
+		if len(cp.HandlerData) == 0 {
+			cp.HandlerData = nil
+		}
+		return &cp
+	}
+	return r
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	var buf Buffer
+	for _, r := range sampleRecords() {
+		_ = buf.Append(r)
+	}
+	full := buf.Bytes()
+	for n := 1; n < len(full); n++ {
+		if _, err := DecodeAll(full[:n]); err == nil {
+			// Truncation at a record boundary is legal; everywhere else
+			// must error. Check it decoded strictly fewer records.
+			recs, _ := DecodeAll(full[:n])
+			if len(recs) >= len(sampleRecords()) {
+				t.Fatalf("truncated decode at %d produced full set", n)
+			}
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeAll([]byte{0xFF, 0x01, 0x02}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{Seq: 900, AckWanted: true, Payload: []byte("records")}
+	got, err := DecodeFrame(EncodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 900 || !got.AckWanted || string(got.Payload) != "records" {
+		t.Fatalf("frame = %+v", got)
+	}
+	if _, err := DecodeFrame([]byte{}); err == nil {
+		t.Fatal("empty frame decoded")
+	}
+	seq, err := DecodeAck(EncodeAck(12345))
+	if err != nil || seq != 12345 {
+		t.Fatalf("ack = %d (%v)", seq, err)
+	}
+}
+
+// Property: LockAcq and Switch records round-trip for arbitrary field values.
+func TestLockAcqProperty(t *testing.T) {
+	prop := func(tid string, tasn uint64, lid int64, lasn uint64) bool {
+		var buf Buffer
+		in := &LockAcq{TID: tid, TASN: tasn, LID: lid, LASN: lasn}
+		if err := buf.Append(in); err != nil {
+			return false
+		}
+		out, err := DecodeAll(buf.Bytes())
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		got, ok := out[0].(*LockAcq)
+		return ok && *got == *in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchProperty(t *testing.T) {
+	prop := func(tid, next string, br uint64, m, pc int32, mon, lasn uint64, reason uint8) bool {
+		var buf Buffer
+		in := &Switch{TID: tid, BrCnt: br, MethodIdx: m, PCOff: pc, MonCnt: mon, LASN: lasn, Reason: reason, NextTID: next}
+		if err := buf.Append(in); err != nil {
+			return false
+		}
+		out, err := DecodeAll(buf.Bytes())
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		got, ok := out[0].(*Switch)
+		return ok && *got == *in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeResultStringProperty(t *testing.T) {
+	prop := func(s string, i int64, f float64) bool {
+		var buf Buffer
+		in := &NativeResult{TID: "0", NatSeq: 1, Sig: "x", Results: []WireValue{
+			{Kind: WireStr, S: s}, {Kind: WireInt, I: i}, {Kind: WireFloat, F: f},
+		}}
+		if err := buf.Append(in); err != nil {
+			return false
+		}
+		out, err := DecodeAll(buf.Bytes())
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		got := out[0].(*NativeResult)
+		if len(got.Results) != 3 {
+			return false
+		}
+		okF := got.Results[2].F == f || (f != f && got.Results[2].F != got.Results[2].F)
+		return got.Results[0].S == s && got.Results[1].I == i && okF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	var buf Buffer
+	_ = buf.Append(&Halt{})
+	if buf.Len() == 0 || buf.Count() != 1 {
+		t.Fatal("append did nothing")
+	}
+	buf.Reset()
+	if buf.Len() != 0 || buf.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

@@ -1,0 +1,121 @@
+package ftvm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/replication"
+	"repro/internal/vm"
+)
+
+// WarmResult describes a warm-replicated run: the primary's metrics plus the
+// warm backup's concurrent execution report.
+type WarmResult struct {
+	PrimaryStats   Stats
+	PrimaryElapsed time.Duration
+	Primary        replication.PrimaryMetrics
+	Outcome        replication.ServeOutcome
+	Killed         bool
+	Warm           *replication.WarmResult
+	Console        []string
+	Env            *env.Env
+}
+
+// RunWarmReplicated executes prog with a primary and a *warm* backup: the
+// backup executes the program concurrently, consuming the log as it arrives
+// (semi-active replication — the paper's "keeping the backup updated would
+// require only minor modifications", §1). With a non-nil trigger the primary
+// is killed mid-run; the warm backup, already mid-execution, finishes the
+// program with the usual exactly-once output guarantees.
+func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Options) (*WarmResult, error) {
+	opts.fill()
+	environ := opts.environment()
+	pEnd, bEnd := opts.newPipe()
+
+	primary, err := replication.NewPrimary(replication.PrimaryConfig{
+		Mode:           mode,
+		Endpoint:       pEnd,
+		Policy:         vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
+		FlushEvery:     opts.FlushEvery,
+		HeartbeatEvery: opts.Heartbeat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	machine, err := vm.New(vm.Config{
+		Program:         prog,
+		Env:             environ,
+		Coordinator:     primary,
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+		TrackProgress:   mode == ModeSched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	warm, err := replication.NewWarmBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd})
+	if err != nil {
+		return nil, err
+	}
+
+	type warmDone struct {
+		res *replication.WarmResult
+		err error
+	}
+	warmCh := make(chan warmDone, 1)
+	go func() {
+		_, res, err := warm.Run(replication.RecoverConfig{
+			Program:         prog,
+			Env:             environ,
+			Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
+			GCThreshold:     opts.GCThreshold,
+			MaxInstructions: opts.MaxInstructions,
+		})
+		warmCh <- warmDone{res, err}
+	}()
+
+	stopTrigger := make(chan struct{})
+	if trigger != nil {
+		go func() {
+			for {
+				select {
+				case <-stopTrigger:
+					return
+				case <-time.After(50 * time.Microsecond):
+				}
+				if trigger(warm.Logged()) {
+					machine.Kill()
+					return
+				}
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	runErr := machine.Run()
+	elapsed := time.Since(t0)
+	close(stopTrigger)
+	wd := <-warmCh
+
+	res := &WarmResult{
+		PrimaryStats:   machine.Stats(),
+		PrimaryElapsed: elapsed,
+		Primary:        primary.Metrics(),
+		Killed:         machine.Killed(),
+		Console:        environ.Console().Lines(),
+		Env:            environ,
+	}
+	if wd.res != nil {
+		res.Outcome = wd.res.Outcome
+		res.Warm = wd.res
+	}
+	if runErr != nil && !machine.Killed() {
+		return res, fmt.Errorf("primary run: %w", runErr)
+	}
+	if wd.err != nil {
+		return res, fmt.Errorf("warm backup: %w", wd.err)
+	}
+	res.Console = environ.Console().Lines()
+	return res, nil
+}
