@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the pre-merge gate: vet, the full
+# test suite, and the race detector over the concurrency-heavy packages
+# (replication and transport are where the primary/backup/heartbeat
+# goroutines interleave).
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/replication/... ./internal/transport/...
+
+check: vet build test race
+
+bench:
+	$(GO) run ./cmd/ftvm-bench -all

@@ -10,6 +10,7 @@
 //	ftvm-bench -bench db,mtrt       # restrict benchmarks
 //	ftvm-bench -scale 2 -repeats 3  # bigger workloads, more rounds
 //	ftvm-bench -no-network          # disable the simulated 100 Mbps link
+//	ftvm-bench -metrics -bench db   # raw replication metrics as JSON
 package main
 
 import (
@@ -37,6 +38,7 @@ func run() error {
 		fig3      = flag.Bool("fig3", false, "Figure 3: lock-replication overhead decomposition")
 		fig4      = flag.Bool("fig4", false, "Figure 4: thread-scheduling overhead decomposition")
 		takeover  = flag.Bool("takeover", false, "extension: cold vs warm backup takeover latency")
+		metrics   = flag.Bool("metrics", false, "dump raw replication metrics as JSON")
 		benchList = flag.String("bench", "", "comma-separated benchmark subset (default all six)")
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		repeats   = flag.Int("repeats", 2, "measurement rounds (fastest kept; plus one warm-up)")
@@ -45,7 +47,7 @@ func run() error {
 		perKB     = flag.Duration("net-per-kb", 450*time.Microsecond, "simulated per-KB cost")
 	)
 	flag.Parse()
-	if !*table2 && !*fig2 && !*fig3 && !*fig4 && !*takeover {
+	if !*table2 && !*fig2 && !*fig3 && !*fig4 && !*takeover && !*metrics {
 		*all = true
 	}
 	if *all {
@@ -63,7 +65,7 @@ func run() error {
 	}
 
 	var results []*harness.BenchResult
-	if *table2 || *fig2 || *fig3 || *fig4 {
+	if *table2 || *fig2 || *fig3 || *fig4 || *metrics {
 		fmt.Fprintf(os.Stderr, "measuring %v (scale %d, %d rounds + warm-up)...\n",
 			benchNames(cfg), *scale, *repeats)
 		start := time.Now()
@@ -98,7 +100,14 @@ func run() error {
 		}
 		fmt.Println(harness.TakeoverReport(tr))
 	}
-	if len(results) > 0 {
+	if *metrics {
+		doc, err := harness.MetricsJSON(results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(doc)
+	}
+	if len(results) > 0 && !*metrics {
 		fmt.Println(harness.Summary(results))
 	}
 	return nil

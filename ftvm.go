@@ -55,6 +55,11 @@ const (
 	ModeLockInterval = replication.ModeLockInterval
 )
 
+// ErrBackupLost is the primary-side failure detector's verdict: the backup
+// stopped acknowledging within Options.AckTimeout (or its transport failed).
+// Returned (wrapped) from replicated runs unless DegradeOnBackupLoss is set.
+var ErrBackupLost = replication.ErrBackupLost
+
 // CompileSource compiles minilang source into a program.
 func CompileSource(name, src string) (*Program, error) {
 	return minilang.Compile(name, src)
@@ -96,6 +101,15 @@ type Options struct {
 	// Heartbeat enables primary→backup heartbeats at this period (0 = rely
 	// on transport closure for failure detection).
 	Heartbeat time.Duration
+	// AckTimeout bounds the primary's output-commit wait: if the backup does
+	// not acknowledge within this window it is declared lost
+	// (replication.ErrBackupLost) instead of blocking the output path
+	// forever (0 = wait forever, the paper's pure pessimism).
+	AckTimeout time.Duration
+	// DegradeOnBackupLoss lets the primary continue unreplicated after its
+	// failure detector declares the backup lost; by default the loss aborts
+	// the run with replication.ErrBackupLost.
+	DegradeOnBackupLoss bool
 	// PipeCapacity sizes the in-process log channel (default 1024 frames).
 	PipeCapacity int
 	// NetPerMsg/NetPerKB add a calibrated cost to every transport message,
@@ -225,11 +239,13 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 	pEnd, bEnd := opts.newPipe()
 
 	primary, err := replication.NewPrimary(replication.PrimaryConfig{
-		Mode:           mode,
-		Endpoint:       pEnd,
-		Policy:         vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
-		FlushEvery:     opts.FlushEvery,
-		HeartbeatEvery: opts.Heartbeat,
+		Mode:                mode,
+		Endpoint:            pEnd,
+		Policy:              vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
+		FlushEvery:          opts.FlushEvery,
+		HeartbeatEvery:      opts.Heartbeat,
+		AckTimeout:          opts.AckTimeout,
+		DegradeOnBackupLoss: opts.DegradeOnBackupLoss,
 	})
 	if err != nil {
 		return nil, err
@@ -313,7 +329,7 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 	if !machine.Killed() {
 		return res, nil
 	}
-	if outcome != replication.OutcomePrimaryFailed {
+	if !outcome.Failed() {
 		return res, fmt.Errorf("primary killed but backup observed %v", outcome)
 	}
 	r0 := time.Now()
@@ -356,6 +372,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		Endpoint:   pEnd,
 		Policy:     vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
 		FlushEvery: opts.FlushEvery,
+		AckTimeout: opts.AckTimeout,
 	})
 	if err != nil {
 		return nil, nil, err

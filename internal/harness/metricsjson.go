@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/replication"
+)
+
+// modeMetricsJSON is the machine-readable projection of one mode's
+// measurement: elapsed times plus the full replication metrics snapshot.
+// Durations are emitted in nanoseconds (Go's native time.Duration unit) with
+// human-readable mirrors, so downstream tooling can consume either.
+type modeMetricsJSON struct {
+	PrimaryElapsedNS int64                       `json:"primary_elapsed_ns"`
+	PrimaryElapsed   string                      `json:"primary_elapsed"`
+	ReplayElapsedNS  int64                       `json:"replay_elapsed_ns"`
+	ReplayElapsed    string                      `json:"replay_elapsed"`
+	Metrics          replication.PrimaryMetrics  `json:"metrics"`
+	Replay           *replication.RecoveryReport `json:"replay,omitempty"`
+}
+
+type benchMetricsJSON struct {
+	Name       string          `json:"name"`
+	BaselineNS int64           `json:"baseline_ns"`
+	Baseline   string          `json:"baseline"`
+	Lock       modeMetricsJSON `json:"lock"`
+	Sched      modeMetricsJSON `json:"sched"`
+}
+
+func modeJSON(m *ModeResult) modeMetricsJSON {
+	return modeMetricsJSON{
+		PrimaryElapsedNS: int64(m.PrimaryElapsed),
+		PrimaryElapsed:   m.PrimaryElapsed.Round(time.Microsecond).String(),
+		ReplayElapsedNS:  int64(m.ReplayElapsed),
+		ReplayElapsed:    m.ReplayElapsed.Round(time.Microsecond).String(),
+		Metrics:          m.Metrics,
+		Replay:           m.Replay,
+	}
+}
+
+// MetricsJSON renders the benchmark results as an indented JSON document —
+// the raw numbers behind the Table 2 / Figure 2-4 reports, for scripting and
+// regression tracking (ftvm-bench -metrics).
+func MetricsJSON(results []*BenchResult) (string, error) {
+	out := make([]benchMetricsJSON, 0, len(results))
+	for _, r := range results {
+		out = append(out, benchMetricsJSON{
+			Name:       r.Name,
+			BaselineNS: int64(r.Baseline),
+			Baseline:   r.Baseline.Round(time.Microsecond).String(),
+			Lock:       modeJSON(&r.Lock),
+			Sched:      modeJSON(&r.Sched),
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("marshal metrics: %w", err)
+	}
+	return string(b), nil
+}

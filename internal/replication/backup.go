@@ -21,9 +21,16 @@ type ServeOutcome int
 const (
 	// OutcomePrimaryCompleted: the primary shut down cleanly (halt marker).
 	OutcomePrimaryCompleted ServeOutcome = iota + 1
-	// OutcomePrimaryFailed: the failure detector fired (closed transport or
-	// heartbeat/receive timeout) — recovery is required.
+	// OutcomePrimaryFailed: the transport to the primary failed (closed, or
+	// the frame stream became untrustworthy: a sequence gap or a corrupt
+	// frame) — recovery is required.
 	OutcomePrimaryFailed
+	// OutcomePrimaryTimedOut: the primary went silent for FailureTimeout —
+	// no frames and no heartbeats — without the transport closing. The
+	// failure detector declares it dead; recovery is required. Kept distinct
+	// from OutcomePrimaryFailed because silence is a *suspicion* (under R0's
+	// fail-stop assumption it is treated as death) while closure is a fact.
+	OutcomePrimaryTimedOut
 )
 
 func (o ServeOutcome) String() string {
@@ -32,9 +39,17 @@ func (o ServeOutcome) String() string {
 		return "primary completed"
 	case OutcomePrimaryFailed:
 		return "primary failed"
+	case OutcomePrimaryTimedOut:
+		return "primary timed out"
 	default:
 		return "invalid"
 	}
+}
+
+// Failed reports whether the outcome requires recovery (any detector firing,
+// whether by transport closure or by heartbeat silence).
+func (o ServeOutcome) Failed() bool {
+	return o == OutcomePrimaryFailed || o == OutcomePrimaryTimedOut
 }
 
 // ErrNoRecoveryNeeded is returned by Recover when the log ends with a clean
@@ -65,6 +80,9 @@ type BackupStats struct {
 	AcksSent        uint64
 	Heartbeats      uint64
 	ReceiveRoutings uint64 // handler.Receive calls (the paper's receive)
+	DuplicateFrames uint64 // frames re-delivered by a faulty channel (dropped, re-acked)
+	SeqGaps         uint64 // frames lost by the channel (declares the primary failed)
+	CorruptFrames   uint64 // undecodable frames (declares the primary failed)
 }
 
 // Backup is the cold backup: during normal operation it logs records (and
@@ -116,23 +134,57 @@ func (b *Backup) Stats() BackupStats { return b.stats }
 // Serve runs the logging loop until the primary completes or fails. It is
 // the "cold" half of the backup: records are stored (and side-effect
 // handler state accumulated via receive), nothing is executed.
+//
+// The loop distinguishes how the primary was lost. Transport closure or a
+// corrupted/ gapped frame stream is OutcomePrimaryFailed; heartbeat silence
+// (nothing received for FailureTimeout on a still-open channel) is
+// OutcomePrimaryTimedOut. Both demand recovery — the logged prefix stays
+// consistent in every case, because no record past a gap or a corrupt frame
+// is ever appended.
 func (b *Backup) Serve() (ServeOutcome, error) {
+	var gate wire.SeqGate
 	for {
 		msg, err := b.ep.Recv(b.timeout)
-		if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout) {
+		if errors.Is(err, transport.ErrClosed) {
 			return OutcomePrimaryFailed, nil
+		}
+		if errors.Is(err, transport.ErrTimeout) {
+			return OutcomePrimaryTimedOut, nil
 		}
 		if err != nil {
 			return 0, fmt.Errorf("backup receive: %w", err)
 		}
 		frame, err := wire.DecodeFrame(msg)
 		if err != nil {
-			return 0, err
+			// A frame that does not parse means the channel mangled data in
+			// flight; nothing after it can be trusted.
+			b.stats.CorruptFrames++
+			return OutcomePrimaryFailed, nil
+		}
+		if dup, gap := gate.Admit(frame.Seq); dup {
+			// Re-delivered frame: its records are already in the log. Drop
+			// them, but re-acknowledge so a primary waiting on this seq is
+			// not stranded by a lost ack.
+			b.stats.DuplicateFrames++
+			if frame.AckWanted {
+				if err := b.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+					return OutcomePrimaryFailed, nil
+				}
+				b.stats.AcksSent++
+			}
+			continue
+		} else if gap {
+			// At least one frame is gone for good: log records are missing
+			// and the channel is no longer trustworthy. Declare failure while
+			// the logged prefix is still consistent.
+			b.stats.SeqGaps++
+			return OutcomePrimaryFailed, nil
 		}
 		b.stats.FramesReceived++
 		records, err := wire.DecodeAll(frame.Payload)
 		if err != nil {
-			return 0, err
+			b.stats.CorruptFrames++
+			return OutcomePrimaryFailed, nil
 		}
 		halted := false
 		for _, r := range records {
@@ -152,6 +204,9 @@ func (b *Backup) Serve() (ServeOutcome, error) {
 		}
 		if frame.AckWanted {
 			if err := b.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+				if errors.Is(err, transport.ErrClosed) {
+					return OutcomePrimaryFailed, nil
+				}
 				return 0, fmt.Errorf("send ack %d: %w", frame.Seq, err)
 			}
 			b.stats.AcksSent++

@@ -129,7 +129,7 @@ func TestCondvarFailoverSweep(t *testing.T) {
 				_ = pvm.Run()
 				<-done
 
-				if outcome == OutcomePrimaryFailed {
+				if outcome.Failed() {
 					if _, _, err := backup.Recover(RecoverConfig{
 						Program: prog,
 						Env:     environ,

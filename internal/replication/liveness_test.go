@@ -1,0 +1,212 @@
+package replication
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/transport"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// silentBackup acks the first ackUntil ack-wanted frames, then goes silent —
+// still draining frames (so the channel stays open and writable) but never
+// acknowledging again. It models a backup process that wedges rather than
+// crashing: only the primary's AckTimeout can detect it.
+func silentBackup(t *testing.T, ep transport.Endpoint, ackUntil int) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		acked := 0
+		for {
+			msg, err := ep.Recv(2 * time.Second)
+			if err != nil {
+				return
+			}
+			frame, err := wire.DecodeFrame(msg)
+			if err != nil {
+				return
+			}
+			if frame.AckWanted && acked < ackUntil {
+				acked++
+				if err := ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return &wg
+}
+
+// TestBackupLostDuringOutputCommit: the backup stops acknowledging right
+// before an output commit. The primary must not hang on the pessimistic wait
+// (the pre-AckTimeout behaviour): within AckTimeout it declares the backup
+// lost, surfaces ErrBackupLost, and — critically for exactly-once — the
+// uncommitted output is never performed, while already-committed outputs
+// stay performed exactly once.
+func TestBackupLostDuringOutputCommit(t *testing.T) {
+	prog := mustAssemble(t, faultProgram)
+	environ := env.New(1234)
+	pEnd, bEnd := transport.Pipe(4096)
+	// Ack only the first output commit ("start"); the second commit hangs.
+	wg := silentBackup(t, bEnd, 1)
+
+	const ackTimeout = 200 * time.Millisecond
+	primary, err := NewPrimary(PrimaryConfig{
+		Mode:       ModeLock,
+		Endpoint:   pEnd,
+		Policy:     vm.NewSeededPolicy(77, 64, 512),
+		FlushEvery: 4,
+		AckTimeout: ackTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvm, err := vm.New(vm.Config{Program: prog, Env: environ, Coordinator: primary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	runErr := pvm.Run()
+	elapsed := time.Since(start)
+	wg.Wait()
+
+	if !errors.Is(runErr, ErrBackupLost) {
+		t.Fatalf("run error = %v, want ErrBackupLost", runErr)
+	}
+	if elapsed > ackTimeout+2*time.Second {
+		t.Fatalf("primary took %v to notice the dead backup (AckTimeout %v)", elapsed, ackTimeout)
+	}
+	if !primary.BackupLost() {
+		t.Fatal("BackupLost() = false after ack timeout")
+	}
+	m := primary.Metrics()
+	if m.AckTimeouts == 0 || !m.BackupLost {
+		t.Fatalf("metrics = %+v, want AckTimeouts > 0 and BackupLost", m)
+	}
+	// Exactly-once across the loss: "start" was committed and performed
+	// once; the output whose commit timed out must NOT have been performed
+	// (a restarted pair would otherwise duplicate it).
+	lines := environ.Console().Lines()
+	if len(lines) != 1 || lines[0] != "start" {
+		t.Fatalf("console = %q, want exactly [\"start\"]", lines)
+	}
+}
+
+// TestDegradeOnBackupLoss: with DegradeOnBackupLoss set, the same wedged
+// backup does not kill the run — the primary detects the loss, stops
+// replicating, and finishes unreplicated with the full reference output,
+// every line exactly once (the timed-out output is performed by the degraded
+// primary itself, not abandoned).
+func TestDegradeOnBackupLoss(t *testing.T) {
+	prog := mustAssemble(t, faultProgram)
+
+	refEnv := env.New(1234)
+	refVM, err := vm.New(vm.Config{
+		Program: prog, Env: refEnv,
+		Coordinator: vm.NewDefaultCoordinator(vm.NewSeededPolicy(77, 64, 512)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refVM.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalize(refEnv.Console().Lines())
+
+	environ := env.New(1234)
+	pEnd, bEnd := transport.Pipe(4096)
+	wg := silentBackup(t, bEnd, 1)
+	primary, err := NewPrimary(PrimaryConfig{
+		Mode:                ModeLock,
+		Endpoint:            pEnd,
+		Policy:              vm.NewSeededPolicy(77, 64, 512),
+		FlushEvery:          4,
+		AckTimeout:          150 * time.Millisecond,
+		DegradeOnBackupLoss: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvm, err := vm.New(vm.Config{Program: prog, Env: environ, Coordinator: primary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvm.Run(); err != nil {
+		t.Fatalf("degraded run must complete, got %v", err)
+	}
+	wg.Wait()
+	if !primary.BackupLost() {
+		t.Fatal("backup loss was never detected")
+	}
+	if got := canonicalize(environ.Console().Lines()); got != want {
+		t.Fatalf("degraded output mismatch:\n%s\nvs want\n%s", got, want)
+	}
+}
+
+// TestMetricsRaceUnderHeartbeat is the -race regression test for the data
+// race between heartbeatLoop (writing counters from its own goroutine) and
+// Metrics() (read from any goroutine): a monitor goroutine hammers Metrics()
+// while the VM runs with a fast heartbeat. Before the counters became
+// atomic, `go test -race` flagged this pairing.
+func TestMetricsRaceUnderHeartbeat(t *testing.T) {
+	prog := mustAssemble(t, faultProgram)
+	environ := env.New(1234)
+	pEnd, bEnd := transport.Pipe(4096)
+	primary, err := NewPrimary(PrimaryConfig{
+		Mode:           ModeLock,
+		Endpoint:       pEnd,
+		Policy:         vm.NewSeededPolicy(77, 64, 512),
+		FlushEvery:     4,
+		HeartbeatEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvm, err := vm.New(vm.Config{Program: prog, Env: environ, Coordinator: primary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := NewBackup(BackupConfig{Mode: ModeLock, Endpoint: bEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan ServeOutcome, 1)
+	go func() {
+		outcome, _ := backup.Serve()
+		serveDone <- outcome
+	}()
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = primary.Metrics()
+			}
+		}
+	}()
+
+	if err := pvm.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	close(stop)
+	pollWG.Wait()
+	if outcome := <-serveDone; outcome != OutcomePrimaryCompleted {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	m := primary.Metrics()
+	if m.FramesSent == 0 || m.RecordsLogged == 0 {
+		t.Fatalf("metrics empty after run: %+v", m)
+	}
+}

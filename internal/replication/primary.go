@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/heap"
@@ -14,28 +15,12 @@ import (
 	"repro/internal/wire"
 )
 
-// PrimaryMetrics decomposes the primary's replication overhead, mirroring
-// Figures 3 and 4: Communication is time spent shipping log frames,
-// Pessimism is time spent waiting for output-commit acknowledgements, and
-// Record is time spent building/storing lock-acquisition or thread-
-// scheduling records ("Lock Acquire Overhead" / "Rescheduling Overhead").
-type PrimaryMetrics struct {
-	Communication time.Duration
-	Pessimism     time.Duration
-	Record        time.Duration
-
-	RecordsLogged   uint64 // "Logged Messages" in Table 2
-	LockRecords     uint64
-	IDMapRecords    uint64
-	SwitchRecords   uint64
-	NativeRecords   uint64
-	OutputIntents   uint64
-	FramesSent      uint64
-	BytesSent       uint64
-	AcksAwaited     uint64
-	HeartbeatsSent  uint64
-	LargestFrameLen int
-}
+// ErrBackupLost is the primary-side failure detector firing: an output-commit
+// acknowledgement did not arrive within AckTimeout, or the transport to the
+// backup failed. The replication channel is gone; depending on
+// DegradeOnBackupLoss the primary either aborts (surfacing this error) or
+// continues executing unreplicated.
+var ErrBackupLost = errors.New("backup lost: ack timeout or transport failure")
 
 // PrimaryConfig configures the primary-side coordinator.
 type PrimaryConfig struct {
@@ -54,6 +39,16 @@ type PrimaryConfig struct {
 	// HeartbeatEvery enables a liveness heartbeat to the backup (0 = off;
 	// with the in-process pipe, endpoint closure already signals failure).
 	HeartbeatEvery time.Duration
+	// AckTimeout bounds the wait for an output-commit acknowledgement
+	// (0 = wait forever, the original pessimism). When it expires the backup
+	// is declared lost (ErrBackupLost) instead of blocking the output path
+	// of a healthy primary behind a dead backup.
+	AckTimeout time.Duration
+	// DegradeOnBackupLoss makes the primary continue executing unreplicated
+	// after the backup is declared lost: pending and future records are
+	// discarded and outputs proceed without commit. When false (default),
+	// the loss surfaces as ErrBackupLost and aborts the run.
+	DegradeOnBackupLoss bool
 }
 
 // Primary is the vm.Coordinator that turns a VM into the primary replica.
@@ -63,6 +58,8 @@ type Primary struct {
 	handlers   *sehandler.Set
 	policy     vm.SchedPolicy
 	flushEvery int
+	ackTimeout time.Duration
+	degrade    bool
 
 	buf      wire.Buffer
 	frameSeq uint64
@@ -73,7 +70,8 @@ type Primary struct {
 	hbEvery time.Duration
 
 	lidCounter int64
-	metrics    PrimaryMetrics
+	metrics    primaryMetrics
+	backupLost atomic.Bool
 	closedDown bool
 
 	// Open logical interval (ModeLockInterval): the thread currently
@@ -112,6 +110,8 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 		handlers:   h,
 		policy:     pol,
 		flushEvery: fe,
+		ackTimeout: cfg.AckTimeout,
+		degrade:    cfg.DegradeOnBackupLoss,
 		hbEvery:    cfg.HeartbeatEvery,
 	}
 	if p.hbEvery > 0 {
@@ -122,8 +122,13 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 	return p, nil
 }
 
-// Metrics returns a copy of the overhead decomposition.
-func (p *Primary) Metrics() PrimaryMetrics { return p.metrics }
+// Metrics returns a snapshot of the overhead decomposition. Safe to call
+// from any goroutine while the primary runs.
+func (p *Primary) Metrics() PrimaryMetrics { return p.metrics.Snapshot() }
+
+// BackupLost reports whether the primary-side failure detector has declared
+// the backup dead.
+func (p *Primary) BackupLost() bool { return p.backupLost.Load() }
 
 // Handlers returns the side-effect handler set.
 func (p *Primary) Handlers() *sehandler.Set { return p.handlers }
@@ -139,86 +144,160 @@ func (p *Primary) heartbeatLoop() {
 		case <-p.hbStop:
 			return
 		case <-ticker.C:
+			if p.backupLost.Load() {
+				return
+			}
 			seq++
 			buf.Reset()
 			if err := buf.Append(&wire.Heartbeat{Seq: seq}); err != nil {
 				return
 			}
-			if err := p.sendFrame(buf.Bytes(), false); err != nil {
+			if _, err := p.sendFrame(buf.Bytes(), false); err != nil {
 				return
 			}
-			p.metrics.HeartbeatsSent++
+			p.metrics.heartbeatsSent.Add(1)
 		}
 	}
 }
 
-// sendFrame transmits one frame (thread-safe vs heartbeats).
-func (p *Primary) sendFrame(payload []byte, ackWanted bool) error {
+// markBackupLost latches the loss and stops replicating.
+func (p *Primary) markBackupLost() {
+	if p.backupLost.CompareAndSwap(false, true) {
+		p.metrics.backupLost.Store(true)
+	}
+}
+
+// squelch filters replication errors for a primary configured to outlive its
+// backup: once the backup is declared lost and DegradeOnBackupLoss is set,
+// backup-loss errors vanish and execution continues unreplicated. All other
+// errors (and any error in the default abort-on-loss configuration) pass
+// through untouched.
+func (p *Primary) squelch(err error) error {
+	if err != nil && p.degrade && errors.Is(err, ErrBackupLost) {
+		return nil
+	}
+	return err
+}
+
+// sendFrame transmits one frame (thread-safe vs heartbeats) and returns the
+// sequence number it was assigned. The sequence is read and assigned inside
+// the critical section so callers awaiting an ack can never observe a stale
+// expectation (a concurrent heartbeat bumping frameSeq between the read and
+// the send).
+func (p *Primary) sendFrame(payload []byte, ackWanted bool) (uint64, error) {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
+	if p.backupLost.Load() {
+		return 0, fmt.Errorf("ship log frame: %w", ErrBackupLost)
+	}
 	p.frameSeq++
-	b := wire.EncodeFrame(&wire.Frame{Seq: p.frameSeq, AckWanted: ackWanted, Payload: payload})
+	seq := p.frameSeq
+	b := wire.EncodeFrame(&wire.Frame{Seq: seq, AckWanted: ackWanted, Payload: payload})
 	t0 := time.Now()
 	err := p.ep.Send(b)
-	p.metrics.Communication += time.Since(t0)
+	p.metrics.addCommunication(time.Since(t0))
 	if err != nil {
-		return fmt.Errorf("ship log frame %d: %w", p.frameSeq, err)
+		// The channel to the backup is gone (closed or broken mid-write):
+		// that is a backup loss, not merely an I/O error.
+		p.markBackupLost()
+		return seq, fmt.Errorf("ship log frame %d: %w: %w", seq, ErrBackupLost, err)
 	}
-	p.metrics.FramesSent++
-	p.metrics.BytesSent += uint64(len(b))
-	if len(b) > p.metrics.LargestFrameLen {
-		p.metrics.LargestFrameLen = len(b)
-	}
-	return nil
+	p.metrics.observeFrame(len(b))
+	return seq, nil
 }
 
 // flush ships buffered records; with ack it blocks until the backup has
-// logged everything up to this point (the output-commit pessimism, §3.4).
+// logged everything up to this point (the output-commit pessimism, §3.4),
+// bounded by AckTimeout.
 func (p *Primary) flush(ack bool) error {
+	if p.backupLost.Load() {
+		// Degraded: nothing ships any more; drop the batch so the buffer
+		// cannot grow without bound.
+		p.buf.Reset()
+		return fmt.Errorf("flush: %w", ErrBackupLost)
+	}
 	if p.buf.Count() == 0 && !ack {
 		return nil
 	}
-	wantSeq := p.frameSeq + 1
-	if err := p.sendFrame(p.buf.Bytes(), ack); err != nil {
+	wantSeq, err := p.sendFrame(p.buf.Bytes(), ack)
+	if err != nil {
 		return err
 	}
 	p.buf.Reset()
 	if !ack {
 		return nil
 	}
-	p.metrics.AcksAwaited++
+	p.metrics.acksAwaited.Add(1)
 	t0 := time.Now()
-	msg, err := p.ep.Recv(0)
-	p.metrics.Pessimism += time.Since(t0)
-	if err != nil {
-		return fmt.Errorf("await ack: %w", err)
+	err = p.awaitAck(wantSeq)
+	p.metrics.addPessimism(time.Since(t0))
+	return err
+}
+
+// awaitAck blocks until the backup acknowledges wantSeq or AckTimeout
+// expires. Stale acknowledgements (duplicate frames re-acked by the backup,
+// or late acks from an earlier commit) are skipped, not treated as failures.
+func (p *Primary) awaitAck(wantSeq uint64) error {
+	var deadline time.Time
+	if p.ackTimeout > 0 {
+		deadline = time.Now().Add(p.ackTimeout)
 	}
-	seq, err := wire.DecodeAck(msg)
-	if err != nil {
-		return err
+	for {
+		var timeout time.Duration
+		if p.ackTimeout > 0 {
+			timeout = time.Until(deadline)
+			if timeout <= 0 {
+				p.metrics.ackTimeouts.Add(1)
+				p.markBackupLost()
+				return fmt.Errorf("await ack %d: %w", wantSeq, ErrBackupLost)
+			}
+		}
+		msg, err := p.ep.Recv(timeout)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				p.metrics.ackTimeouts.Add(1)
+			}
+			if errors.Is(err, transport.ErrTimeout) || errors.Is(err, transport.ErrClosed) {
+				p.markBackupLost()
+				return fmt.Errorf("await ack %d: %w: %w", wantSeq, ErrBackupLost, err)
+			}
+			return fmt.Errorf("await ack %d: %w", wantSeq, err)
+		}
+		seq, err := wire.DecodeAck(msg)
+		if err != nil {
+			return err
+		}
+		if seq >= wantSeq {
+			return nil
+		}
+		// Stale ack: a duplicate or an earlier commit's late acknowledgement.
+		// The one we want is still in flight; keep waiting.
 	}
-	if seq < wantSeq {
-		return fmt.Errorf("stale ack %d, want >= %d", seq, wantSeq)
-	}
-	return nil
 }
 
 func (p *Primary) append(r wire.Record) error {
-	return p.appendTimed(r, nil)
+	return p.appendTimed(r, false)
 }
 
-// appendTimed buffers a record, charging only the encode/store cost to
-// bucket; a batch flush triggered here is communication, not record time.
-func (p *Primary) appendTimed(r wire.Record, bucket *time.Duration) error {
+// appendTimed buffers a record; with timed, the encode/store cost is charged
+// to the Record bucket (a batch flush triggered here is communication, not
+// record time).
+func (p *Primary) appendTimed(r wire.Record, timed bool) error {
+	if p.backupLost.Load() {
+		if p.degrade {
+			return nil // unreplicated: the log is gone with the backup
+		}
+		return fmt.Errorf("append %s: %w", r.Type(), ErrBackupLost)
+	}
 	t0 := time.Now()
 	err := p.buf.Append(r)
-	if bucket != nil {
-		*bucket += time.Since(t0)
+	if timed {
+		p.metrics.addRecord(time.Since(t0))
 	}
 	if err != nil {
 		return err
 	}
-	p.metrics.RecordsLogged++
+	p.metrics.recordsLogged.Add(1)
 	if p.buf.Count() >= p.flushEvery {
 		return p.flush(false)
 	}
@@ -252,9 +331,9 @@ func (p *Primary) OnDescheduled(v *vm.VM, prev, next *vm.Thread) error {
 		TID: prev.VTID, BrCnt: br, MethodIdx: methodIdx, PCOff: pcOff,
 		MonCnt: mon, LASN: lasn, Reason: uint8(prev.State()), Chk: chk, NextTID: next.VTID,
 	}
-	err := p.appendTimed(rec, &p.metrics.Record)
-	p.metrics.SwitchRecords++
-	return err
+	err := p.appendTimed(rec, true)
+	p.metrics.switchRecords.Add(1)
+	return p.squelch(err)
 }
 
 // BeforeAcquire implements vm.Coordinator (the primary never gates).
@@ -270,9 +349,9 @@ func (p *Primary) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bool,
 	if p.mode != ModeLock {
 		return lid, true, nil
 	}
-	err := p.appendTimed(&wire.IDMap{LID: lid, TID: t.VTID, TASN: t.TASN}, &p.metrics.Record)
-	p.metrics.IDMapRecords++
-	return lid, true, err
+	err := p.appendTimed(&wire.IDMap{LID: lid, TID: t.VTID, TASN: t.TASN}, true)
+	p.metrics.idMapRecords.Add(1)
+	return lid, true, p.squelch(err)
 }
 
 // OnAcquired implements vm.Coordinator: in lock mode, log the acquisition
@@ -281,18 +360,18 @@ func (p *Primary) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bool,
 func (p *Primary) OnAcquired(_ *vm.VM, t *vm.Thread, m *vm.Monitor) error {
 	switch p.mode {
 	case ModeLock:
-		err := p.appendTimed(&wire.LockAcq{TID: t.VTID, TASN: t.TASN, LID: m.LID, LASN: m.LASN}, &p.metrics.Record)
-		p.metrics.LockRecords++
-		return err
+		err := p.appendTimed(&wire.LockAcq{TID: t.VTID, TASN: t.TASN, LID: m.LID, LASN: m.LASN}, true)
+		p.metrics.lockRecords.Add(1)
+		return p.squelch(err)
 	case ModeLockInterval:
 		t0 := time.Now()
-		defer func() { p.metrics.Record += time.Since(t0) }()
+		defer func() { p.metrics.addRecord(time.Since(t0)) }()
 		if p.intCount > 0 && p.intTID == t.VTID {
 			p.intCount++
 			return nil
 		}
 		if err := p.closeInterval(); err != nil {
-			return err
+			return p.squelch(err)
 		}
 		p.intTID = t.VTID
 		p.intStart = t.TASN
@@ -312,7 +391,7 @@ func (p *Primary) closeInterval() error {
 	}
 	rec := &wire.LockInterval{TID: p.intTID, StartTASN: p.intStart, Count: p.intCount}
 	p.intCount = 0
-	p.metrics.LockRecords++
+	p.metrics.lockRecords.Add(1)
 	return p.append(rec)
 }
 
@@ -321,10 +400,15 @@ func (p *Primary) NativeReady(*vm.VM, *vm.Thread, *native.Def) bool { return tru
 
 // InvokeNative implements vm.Coordinator (§4.1/§3.4): output commit before
 // outputs; log results of non-deterministic commands, with handler state.
+// When the output-commit wait establishes that the backup is gone, the
+// behaviour forks: by default the loss aborts the run (ErrBackupLost) with
+// the output unperformed, so a restarted pair cannot duplicate it; with
+// DegradeOnBackupLoss the primary performs the output exactly once and
+// continues unreplicated.
 func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
-	if def.Output {
+	if def.Output && !p.backupLost.Load() {
 		if p.mode == ModeLockInterval {
-			if err := p.closeInterval(); err != nil {
+			if err := p.squelch(p.closeInterval()); err != nil {
 				return nil, err
 			}
 		}
@@ -333,13 +417,13 @@ func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []h
 			seq++
 		}
 		intent := &wire.OutputIntent{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, OutSeq: seq}
-		if err := p.append(intent); err != nil {
+		if err := p.squelch(p.append(intent)); err != nil {
 			return nil, err
 		}
-		p.metrics.OutputIntents++
+		p.metrics.outputIntents.Add(1)
 		// "On performing an output, the primary waits until the backup
 		// acknowledges having logged all events up to the output event."
-		if err := p.flush(true); err != nil {
+		if err := p.squelch(p.flush(true)); err != nil {
 			return nil, err
 		}
 	}
@@ -347,7 +431,7 @@ func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []h
 	if err != nil {
 		return nil, err
 	}
-	if def.NonDeterministic {
+	if def.NonDeterministic && !p.backupLost.Load() {
 		wv, err := toWire(v.Heap(), results)
 		if err != nil {
 			return nil, fmt.Errorf("log %s: %w", def.Sig, err)
@@ -360,10 +444,10 @@ func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []h
 			}
 			rec.HandlerData = data
 		}
-		if err := p.append(rec); err != nil {
+		if err := p.squelch(p.append(rec)); err != nil {
 			return nil, err
 		}
-		p.metrics.NativeRecords++
+		p.metrics.nativeRecords.Add(1)
 	}
 	return results, nil
 }
@@ -375,27 +459,27 @@ func (p *Primary) Poll(*vm.VM) (bool, error) { return false, nil }
 func (p *Primary) OnIdle(*vm.VM) (bool, error) { return false, nil }
 
 // OnHalt implements vm.Coordinator: on clean completion, ship the halt
-// marker and synchronise with the backup; on a kill or fatal error, crash
-// silently — buffered records are lost with the primary, and the backup's
-// failure detector takes over (fail-stop, R0).
+// marker and synchronise with the backup; on a kill, fatal error or lost
+// backup, crash silently — buffered records are lost with the primary, and
+// the backup's failure detector takes over (fail-stop, R0).
 func (p *Primary) OnHalt(v *vm.VM, runErr error) error {
 	p.stopHeartbeat()
 	if p.closedDown {
 		return nil
 	}
 	p.closedDown = true
-	if v.Killed() || runErr != nil {
+	if v.Killed() || runErr != nil || p.backupLost.Load() {
 		return p.ep.Close()
 	}
 	if p.mode == ModeLockInterval {
-		if err := p.closeInterval(); err != nil {
+		if err := p.squelch(p.closeInterval()); err != nil {
 			return err
 		}
 	}
-	if err := p.append(&wire.Halt{}); err != nil {
+	if err := p.squelch(p.append(&wire.Halt{})); err != nil {
 		return err
 	}
-	if err := p.flush(true); err != nil {
+	if err := p.squelch(p.flush(true)); err != nil {
 		return err
 	}
 	return p.ep.Close()

@@ -88,7 +88,8 @@ func TestReplicationOverTCP(t *testing.T) {
 }
 
 // TestHeartbeatTimeoutDetection: a primary that stalls (neither sending nor
-// closing) is detected through the receive timeout.
+// closing) is detected through the receive timeout, and the outcome records
+// that it was silence — not transport closure — that fired the detector.
 func TestHeartbeatTimeoutDetection(t *testing.T) {
 	_, bEnd := transport.Pipe(4)
 	backup, err := NewBackup(BackupConfig{
@@ -104,8 +105,11 @@ func TestHeartbeatTimeoutDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if outcome != OutcomePrimaryFailed {
-		t.Fatalf("outcome = %v", outcome)
+	if outcome != OutcomePrimaryTimedOut {
+		t.Fatalf("outcome = %v, want %v", outcome, OutcomePrimaryTimedOut)
+	}
+	if !outcome.Failed() {
+		t.Fatal("timed-out outcome must count as failed")
 	}
 	if time.Since(start) < 45*time.Millisecond {
 		t.Fatal("detector fired too early")

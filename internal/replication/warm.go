@@ -315,24 +315,45 @@ func (w *WarmBackup) Run(cfg RecoverConfig) (*vm.VM, *WarmResult, error) {
 }
 
 // serve is the warm logging loop: like Backup.Serve but feeding the live
-// analysis (and the side-effect handlers) as records arrive.
+// analysis (and the side-effect handlers) as records arrive. It applies the
+// same two-sided failure discrimination: closure / gap / corruption is
+// OutcomePrimaryFailed, heartbeat silence is OutcomePrimaryTimedOut.
 func (w *WarmBackup) serve() (ServeOutcome, error) {
+	var gate wire.SeqGate
 	for {
 		msg, err := w.ep.Recv(w.timeout)
-		if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout) {
+		if errors.Is(err, transport.ErrClosed) {
 			return OutcomePrimaryFailed, nil
+		}
+		if errors.Is(err, transport.ErrTimeout) {
+			return OutcomePrimaryTimedOut, nil
 		}
 		if err != nil {
 			return 0, fmt.Errorf("warm receive: %w", err)
 		}
 		frame, err := wire.DecodeFrame(msg)
 		if err != nil {
-			return 0, err
+			w.stats.CorruptFrames++
+			return OutcomePrimaryFailed, nil
+		}
+		if dup, gap := gate.Admit(frame.Seq); dup {
+			w.stats.DuplicateFrames++
+			if frame.AckWanted {
+				if err := w.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+					return OutcomePrimaryFailed, nil
+				}
+				w.stats.AcksSent++
+			}
+			continue
+		} else if gap {
+			w.stats.SeqGaps++
+			return OutcomePrimaryFailed, nil
 		}
 		w.stats.FramesReceived++
 		records, err := wire.DecodeAll(frame.Payload)
 		if err != nil {
-			return 0, err
+			w.stats.CorruptFrames++
+			return OutcomePrimaryFailed, nil
 		}
 		halted := false
 		keep := records[:0]
@@ -359,6 +380,9 @@ func (w *WarmBackup) serve() (ServeOutcome, error) {
 		}
 		if frame.AckWanted {
 			if err := w.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+				if errors.Is(err, transport.ErrClosed) {
+					return OutcomePrimaryFailed, nil
+				}
 				return 0, fmt.Errorf("warm ack %d: %w", frame.Seq, err)
 			}
 			w.stats.AcksSent++

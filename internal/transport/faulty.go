@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultKind enumerates the injectable channel failures. Each models a way a
+// real primary↔backup link can misbehave short of (or including) a clean
+// close: frames vanishing, arriving late or twice, a connection torn down
+// mid-write, and one-way partitions where only one direction keeps flowing.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone injects nothing; the wrapper is transparent.
+	FaultNone FaultKind = iota
+	// FaultDropSend silently discards the Nth outgoing message.
+	FaultDropSend
+	// FaultDelaySend delays the Nth outgoing message (Delay, or a seeded
+	// 1–5 ms jitter when zero) before delivering it.
+	FaultDelaySend
+	// FaultDuplicateSend delivers the Nth outgoing message twice.
+	FaultDuplicateSend
+	// FaultPartialSend delivers a truncated prefix of the Nth outgoing
+	// message, then closes the endpoint — a connection dying mid-write.
+	FaultPartialSend
+	// FaultCloseAtSend closes the endpoint instead of performing the Nth send.
+	FaultCloseAtSend
+	// FaultCloseAtRecv closes the endpoint at the Nth receive.
+	FaultCloseAtRecv
+	// FaultPartitionSend cuts the outgoing direction from the Nth send on:
+	// sends appear to succeed but nothing is delivered (one-way partition).
+	FaultPartitionSend
+	// FaultPartitionRecv cuts the incoming direction from the Nth receive on:
+	// receives see only silence (timeout) while sends still flow.
+	FaultPartitionRecv
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropSend:
+		return "drop-send"
+	case FaultDelaySend:
+		return "delay-send"
+	case FaultDuplicateSend:
+		return "dup-send"
+	case FaultPartialSend:
+		return "partial-send"
+	case FaultCloseAtSend:
+		return "close-at-send"
+	case FaultCloseAtRecv:
+		return "close-at-recv"
+	case FaultPartitionSend:
+		return "partition-send"
+	case FaultPartitionRecv:
+		return "partition-recv"
+	default:
+		return "invalid"
+	}
+}
+
+// FaultPlan schedules one fault: Kind fires at the At-th matching operation
+// (1-based; sends for send faults, receives for receive faults). Delay tunes
+// FaultDelaySend; zero draws a seeded jitter so sweeps stay reproducible.
+type FaultPlan struct {
+	Kind  FaultKind
+	At    int
+	Delay time.Duration
+}
+
+// FaultyStats counts the wrapper's activity.
+type FaultyStats struct {
+	Sends    int // Send calls observed (including dropped/partitioned ones)
+	Recvs    int // Recv calls observed
+	Injected int // fault activations (partitions count every suppressed op)
+}
+
+// Faulty wraps an Endpoint with deterministic, seeded fault injection. It is
+// the adversary for the replication channel-fault sweep: the same plan and
+// seed always produce the same failure, so a failing (mode × fault ×
+// position) cell reproduces exactly.
+type Faulty struct {
+	inner Endpoint
+	plan  FaultPlan
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	stats        FaultyStats
+	partitionOut bool
+	partitionIn  bool
+}
+
+var _ Endpoint = (*Faulty)(nil)
+
+// NewFaulty wraps ep with plan; seed derives any randomized fault parameters
+// (currently the FaultDelaySend jitter when plan.Delay is zero).
+func NewFaulty(ep Endpoint, plan FaultPlan, seed int64) *Faulty {
+	return &Faulty{inner: ep, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns a copy of the activity counters.
+func (f *Faulty) Stats() FaultyStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Send implements Endpoint, injecting the planned send-side fault.
+func (f *Faulty) Send(msg []byte) error {
+	f.mu.Lock()
+	f.stats.Sends++
+	n := f.stats.Sends
+	if f.partitionOut {
+		f.stats.Injected++
+		f.mu.Unlock()
+		return nil // swallowed by the partition; the sender cannot tell
+	}
+	kind := FaultNone
+	if n == f.plan.At {
+		kind = f.plan.Kind
+	}
+	var delay time.Duration
+	switch kind {
+	case FaultDropSend:
+		f.stats.Injected++
+		f.mu.Unlock()
+		return nil
+	case FaultDelaySend:
+		delay = f.plan.Delay
+		if delay <= 0 {
+			delay = time.Duration(1+f.rng.Intn(4)) * time.Millisecond
+		}
+		f.stats.Injected++
+	case FaultDuplicateSend:
+		f.stats.Injected++
+		f.mu.Unlock()
+		if err := f.inner.Send(msg); err != nil {
+			return err
+		}
+		return f.inner.Send(msg)
+	case FaultPartialSend:
+		f.stats.Injected++
+		f.mu.Unlock()
+		_ = f.inner.Send(msg[:len(msg)/2])
+		_ = f.inner.Close()
+		return ErrClosed
+	case FaultCloseAtSend:
+		f.stats.Injected++
+		f.mu.Unlock()
+		_ = f.inner.Close()
+		return ErrClosed
+	case FaultPartitionSend:
+		f.partitionOut = true
+		f.stats.Injected++
+		f.mu.Unlock()
+		return nil
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return f.inner.Send(msg)
+}
+
+// Recv implements Endpoint, injecting the planned receive-side fault.
+func (f *Faulty) Recv(timeout time.Duration) ([]byte, error) {
+	f.mu.Lock()
+	f.stats.Recvs++
+	n := f.stats.Recvs
+	if f.plan.Kind == FaultPartitionRecv && n >= f.plan.At {
+		f.partitionIn = true
+	}
+	if f.partitionIn {
+		f.stats.Injected++
+		f.mu.Unlock()
+		// Silence: nothing arrives. With no timeout the caller would block
+		// forever; surface the timeout immediately instead of hanging tests.
+		if timeout > 0 {
+			time.Sleep(timeout)
+		}
+		return nil, ErrTimeout
+	}
+	if f.plan.Kind == FaultCloseAtRecv && n == f.plan.At {
+		f.stats.Injected++
+		f.mu.Unlock()
+		_ = f.inner.Close()
+		return nil, ErrClosed
+	}
+	f.mu.Unlock()
+	return f.inner.Recv(timeout)
+}
+
+// Close implements Endpoint.
+func (f *Faulty) Close() error { return f.inner.Close() }

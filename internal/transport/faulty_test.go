@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultyDropSend(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultDropSend, At: 2}, 1)
+	for i := byte(1); i <= 3; i++ {
+		if err := fa.Send([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []byte{1, 3} {
+		msg, err := b.Recv(time.Second)
+		if err != nil || len(msg) != 1 || msg[0] != want {
+			t.Fatalf("recv = %v (%v), want [%d]", msg, err, want)
+		}
+	}
+	if _, err := b.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped frame delivered anyway: %v", err)
+	}
+	if st := fa.Stats(); st.Sends != 3 || st.Injected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyDuplicateSend(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultDuplicateSend, At: 2}, 1)
+	for i := byte(1); i <= 3; i++ {
+		if err := fa.Send([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []byte{1, 2, 2, 3} {
+		msg, err := b.Recv(time.Second)
+		if err != nil || len(msg) != 1 || msg[0] != want {
+			t.Fatalf("recv = %v (%v), want [%d]", msg, err, want)
+		}
+	}
+}
+
+func TestFaultyDelaySend(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultDelaySend, At: 1, Delay: 20 * time.Millisecond}, 1)
+	start := time.Now()
+	if err := fa.Send([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("delay not applied: %v", el)
+	}
+	if msg, err := b.Recv(time.Second); err != nil || string(msg) != "late" {
+		t.Fatalf("recv = %q (%v)", msg, err)
+	}
+}
+
+func TestFaultyPartialSend(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultPartialSend, At: 1}, 1)
+	if err := fa.Send([]byte("0123456789")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("partial send err = %v, want ErrClosed", err)
+	}
+	msg, err := b.Recv(time.Second)
+	if err != nil || string(msg) != "01234" {
+		t.Fatalf("truncated delivery = %q (%v)", msg, err)
+	}
+	if _, err := b.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after partial write, got %v", err)
+	}
+}
+
+func TestFaultyCloseAtSend(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultCloseAtSend, At: 2}, 1)
+	if err := fa.Send([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Send([]byte("never")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send err = %v, want ErrClosed", err)
+	}
+	if msg, err := b.Recv(time.Second); err != nil || string(msg) != "ok" {
+		t.Fatalf("recv = %q (%v)", msg, err)
+	}
+	if _, err := b.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestFaultyCloseAtRecv(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultCloseAtRecv, At: 1}, 1)
+	if _, err := fa.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv err = %v, want ErrClosed", err)
+	}
+	if err := b.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer send err = %v, want ErrClosed", err)
+	}
+}
+
+func TestFaultyPartitionSend(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultPartitionSend, At: 2}, 1)
+	for i := byte(1); i <= 4; i++ {
+		if err := fa.Send([]byte{i}); err != nil {
+			t.Fatalf("partitioned send must look successful, got %v", err)
+		}
+	}
+	if msg, err := b.Recv(time.Second); err != nil || msg[0] != 1 {
+		t.Fatalf("recv = %v (%v)", msg, err)
+	}
+	if _, err := b.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partition leaked a message: %v", err)
+	}
+	// The reverse direction still flows.
+	if err := b.Send([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := fa.Recv(time.Second); err != nil || string(msg) != "back" {
+		t.Fatalf("reverse recv = %q (%v)", msg, err)
+	}
+}
+
+func TestFaultyPartitionRecv(t *testing.T) {
+	a, b := Pipe(8)
+	fa := NewFaulty(a, FaultPlan{Kind: FaultPartitionRecv, At: 2}, 1)
+	if err := b.Send([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := fa.Recv(time.Second); err != nil || string(msg) != "first" {
+		t.Fatalf("recv = %q (%v)", msg, err)
+	}
+	if err := b.Send([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := fa.Recv(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("recv err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("partitioned recv returned before the timeout elapsed")
+	}
+	// Outgoing direction still works.
+	if err := fa.Send([]byte("out")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := b.Recv(time.Second); err != nil || string(msg) != "out" {
+		t.Fatalf("peer recv = %q (%v)", msg, err)
+	}
+}
+
+// TestFaultySeededDeterminism: with the same plan and seed, two wrappers
+// observe identical injection points (the sweep's reproducibility contract).
+func TestFaultySeededDeterminism(t *testing.T) {
+	run := func() FaultyStats {
+		a, b := Pipe(8)
+		fa := NewFaulty(a, FaultPlan{Kind: FaultDropSend, At: 3}, 42)
+		for i := 0; i < 5; i++ {
+			_ = fa.Send([]byte{byte(i)})
+		}
+		got := 0
+		for {
+			if _, err := b.Recv(10 * time.Millisecond); err != nil {
+				break
+			}
+			got++
+		}
+		if got != 4 {
+			t.Fatalf("delivered %d messages, want 4", got)
+		}
+		return fa.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("stats diverge across identical runs: %+v vs %+v", a, b)
+	}
+}

@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -96,7 +97,16 @@ func (p *pipeEnd) Recv(timeout time.Duration) ([]byte, error) {
 	case <-expire:
 		return nil, ErrTimeout
 	case <-p.closed:
-		return nil, ErrClosed
+		// Drain anything already buffered before reporting closure — the
+		// same contract as the peer-closed branch below. Closing an end
+		// stops new traffic; it must not discard messages that had already
+		// been delivered into the channel buffer.
+		select {
+		case msg := <-p.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
 	case <-p.peer.closed:
 		// Drain anything already buffered before reporting closure.
 		select {
@@ -121,19 +131,32 @@ func (p *pipeEnd) Close() error {
 	return nil
 }
 
-// tcpEndpoint speaks length-prefixed messages over a net.Conn.
+// tcpEndpoint speaks length-prefixed messages over a net.Conn. Receives are
+// resumable: a timeout mid-frame (after a partial read of the length prefix
+// or the payload) parks the partial state and the next Recv continues where
+// the previous one stopped, so short timeouts never desynchronize the stream.
 type tcpEndpoint struct {
-	conn    net.Conn
-	sendMu  sync.Mutex
+	conn   net.Conn
+	sendMu sync.Mutex
+	lenBuf [4]byte
+
+	// Receive state, guarded by recvMu: a buffered reader plus the
+	// partially-assembled in-flight frame.
 	recvMu  sync.Mutex
-	lenBuf  [4]byte
+	br      *bufio.Reader
 	rLenBuf [4]byte
-	closed  bool
-	mu      sync.Mutex
+	hdrGot  int    // bytes of the length prefix read so far
+	payload []byte // allocated once the prefix completes
+	payGot  int    // bytes of the payload read so far
+
+	closed bool
+	mu     sync.Mutex
 }
 
 // NewTCP wraps an established connection.
-func NewTCP(conn net.Conn) Endpoint { return &tcpEndpoint{conn: conn} }
+func NewTCP(conn net.Conn) Endpoint {
+	return &tcpEndpoint{conn: conn, br: bufio.NewReader(conn)}
+}
 
 // DialTCP connects to a listening backup.
 func DialTCP(addr string) (Endpoint, error) {
@@ -205,17 +228,33 @@ func (t *tcpEndpoint) Recv(timeout time.Duration) ([]byte, error) {
 	if err := t.conn.SetReadDeadline(deadline); err != nil {
 		return nil, t.mapErr(err)
 	}
-	if _, err := io.ReadFull(t.conn, t.rLenBuf[:]); err != nil {
-		return nil, t.mapErr(err)
+	// Resume (or start) the length prefix. Progress is kept across calls: a
+	// timeout after a partial read must not discard the bytes already
+	// consumed, or the next Recv would interpret payload bytes as a length.
+	for t.hdrGot < len(t.rLenBuf) {
+		n, err := t.br.Read(t.rLenBuf[t.hdrGot:])
+		t.hdrGot += n
+		if err != nil {
+			return nil, t.mapErr(err)
+		}
 	}
-	n := binary.LittleEndian.Uint32(t.rLenBuf[:])
-	if n > 1<<28 {
-		return nil, fmt.Errorf("implausible message length %d", n)
+	if t.payload == nil {
+		n := binary.LittleEndian.Uint32(t.rLenBuf[:])
+		if n > 1<<28 {
+			return nil, fmt.Errorf("implausible message length %d", n)
+		}
+		t.payload = make([]byte, n)
+		t.payGot = 0
 	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(t.conn, msg); err != nil {
-		return nil, t.mapErr(err)
+	for t.payGot < len(t.payload) {
+		n, err := t.br.Read(t.payload[t.payGot:])
+		t.payGot += n
+		if err != nil {
+			return nil, t.mapErr(err)
+		}
 	}
+	msg := t.payload
+	t.payload, t.payGot, t.hdrGot = nil, 0, 0
 	return msg, nil
 }
 

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -59,6 +61,28 @@ func TestPipeCloseSignalsPeer(t *testing.T) {
 	}
 	if err := b.Send([]byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("send to closed: %v", err)
+	}
+}
+
+// TestPipeLocalCloseDrains: buffered messages survive the *local* end
+// closing, symmetric with the peer-close drain above — closing stops new
+// traffic but must not discard what was already delivered.
+func TestPipeLocalCloseDrains(t *testing.T) {
+	a, b := Pipe(4)
+	if err := b.Send([]byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the message is buffered before the close.
+	time.Sleep(time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := a.Recv(time.Second)
+	if err != nil || string(msg) != "in-flight" {
+		t.Fatalf("drain after local close = %q (%v)", msg, err)
+	}
+	if _, err := a.Recv(50 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", err)
 	}
 }
 
@@ -139,6 +163,80 @@ func TestTCPEndpoint(t *testing.T) {
 // bound address before Accept blocks.
 func listenTCPAsync(addrCh chan<- string) (Endpoint, string, error) {
 	return ListenTCPAnnounce("127.0.0.1:0", func(bound string) { addrCh <- bound })
+}
+
+// TestTCPRecvResumesAfterTimeout: a Recv timeout mid-frame (after a partial
+// read of the length prefix or payload) must not desynchronize the stream —
+// the next Recv resumes the partial frame and later traffic still parses.
+func TestTCPRecvResumesAfterTimeout(t *testing.T) {
+	cc, sc := net.Pipe()
+	ep := NewTCP(sc)
+	defer ep.Close()
+	defer cc.Close()
+
+	frame := func(payload []byte) []byte {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		return append(hdr[:], payload...)
+	}
+
+	// Dribble the first frame byte by byte with pauses longer than the
+	// receiver's timeout, so Recv times out mid-prefix and mid-payload.
+	writeErr := make(chan error, 1)
+	go func() {
+		b := frame([]byte("slow-frame"))
+		for i := range b {
+			if _, err := cc.Write(b[i : i+1]); err != nil {
+				writeErr <- err
+				return
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+		// Then immediately follow with live traffic, written whole.
+		_, err := cc.Write(append(frame([]byte("second")), frame([]byte("third"))...))
+		writeErr <- err
+	}()
+
+	var msg []byte
+	var err error
+	timeouts := 0
+	for {
+		msg, err = ep.Recv(2 * time.Millisecond)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("recv: %v", err)
+		}
+		timeouts++
+		if timeouts > 1000 {
+			t.Fatal("frame never completed")
+		}
+	}
+	if string(msg) != "slow-frame" {
+		t.Fatalf("resumed frame = %q", msg)
+	}
+	if timeouts == 0 {
+		t.Fatal("test never exercised a mid-frame timeout")
+	}
+	for _, want := range []string{"second", "third"} {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			msg, err = ep.Recv(5 * time.Millisecond)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrTimeout) || time.Now().After(deadline) {
+				t.Fatalf("recv after resume: %v", err)
+			}
+		}
+		if string(msg) != want {
+			t.Fatalf("post-resume frame = %q, want %q", msg, want)
+		}
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
 }
 
 func TestLatencyWrapper(t *testing.T) {

@@ -56,6 +56,36 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	return &Frame{Seq: seq, AckWanted: ackWanted, Payload: payload}, nil
 }
 
+// SeqGate validates the frame sequence on the receiving side of the channel.
+// Frames are numbered contiguously from 1 by the sender; a receiver behind a
+// faulty link can observe duplicates (retransmission, a misbehaving middle
+// box) or gaps (lost frames). Duplicates are harmless — the frame was already
+// logged and at most needs re-acknowledging — but a gap means log records are
+// gone for good, and the only safe reaction is to declare the channel failed
+// while the logged prefix is still consistent.
+type SeqGate struct {
+	last uint64
+}
+
+// Admit classifies frame sequence seq: dup means the frame was already
+// processed (drop it, re-ack if asked), gap means at least one frame was
+// lost before it (the channel is no longer trustworthy). A frame with
+// dup == gap == false is the expected next frame and Admit records it.
+func (g *SeqGate) Admit(seq uint64) (dup, gap bool) {
+	switch {
+	case seq <= g.last:
+		return true, false
+	case seq != g.last+1:
+		return false, true
+	default:
+		g.last = seq
+		return false, false
+	}
+}
+
+// Last returns the highest admitted frame sequence.
+func (g *SeqGate) Last() uint64 { return g.last }
+
 // EncodeAck serialises an acknowledgement for frame seq.
 func EncodeAck(seq uint64) []byte {
 	var buf [binary.MaxVarintLen64]byte

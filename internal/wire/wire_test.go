@@ -189,3 +189,31 @@ func TestBufferReset(t *testing.T) {
 		t.Fatal("reset did not clear")
 	}
 }
+
+func TestSeqGate(t *testing.T) {
+	var g SeqGate
+	for seq := uint64(1); seq <= 3; seq++ {
+		if dup, gap := g.Admit(seq); dup || gap {
+			t.Fatalf("seq %d: dup=%v gap=%v, want clean admit", seq, dup, gap)
+		}
+	}
+	if dup, gap := g.Admit(2); !dup || gap {
+		t.Fatalf("replayed seq 2: dup=%v gap=%v, want duplicate", dup, gap)
+	}
+	if dup, gap := g.Admit(3); !dup || gap {
+		t.Fatalf("replayed seq 3: dup=%v gap=%v, want duplicate", dup, gap)
+	}
+	if dup, gap := g.Admit(5); dup || !gap {
+		t.Fatalf("seq 5 after 3: dup=%v gap=%v, want gap", dup, gap)
+	}
+	// A gap is not recorded: the gate still expects 4 and stays broken.
+	if dup, gap := g.Admit(6); dup || !gap {
+		t.Fatalf("seq 6: dup=%v gap=%v, want gap again", dup, gap)
+	}
+	if g.Last() != 3 {
+		t.Fatalf("Last() = %d, want 3", g.Last())
+	}
+	if dup, gap := g.Admit(4); dup || gap {
+		t.Fatalf("seq 4: dup=%v gap=%v, want clean admit", dup, gap)
+	}
+}

@@ -34,11 +34,13 @@ func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Optio
 	pEnd, bEnd := opts.newPipe()
 
 	primary, err := replication.NewPrimary(replication.PrimaryConfig{
-		Mode:           mode,
-		Endpoint:       pEnd,
-		Policy:         vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
-		FlushEvery:     opts.FlushEvery,
-		HeartbeatEvery: opts.Heartbeat,
+		Mode:                mode,
+		Endpoint:            pEnd,
+		Policy:              vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
+		FlushEvery:          opts.FlushEvery,
+		HeartbeatEvery:      opts.Heartbeat,
+		AckTimeout:          opts.AckTimeout,
+		DegradeOnBackupLoss: opts.DegradeOnBackupLoss,
 	})
 	if err != nil {
 		return nil, err
