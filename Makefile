@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,15 @@ vet:
 race:
 	$(GO) test -race ./internal/replication/... ./internal/transport/...
 
-check: vet build test race
+# Bounded fuzzing pass: the differential smoke quota (a few hundred generated
+# programs cross-checked standalone/replicated/failover) plus a short burst of
+# each native fuzz target. `go test -fuzz` accepts one target per invocation.
+fuzz-smoke:
+	$(GO) test -short ./internal/fuzzgen
+	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
+	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
+
+check: vet build test race fuzz-smoke
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all

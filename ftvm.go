@@ -325,8 +325,13 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 		return res, nil
 	}
 
-	// The primary may have completed before the trigger fired.
-	if !machine.Killed() {
+	// The primary may have completed before the trigger fired — including the
+	// race where the trigger observes the final record count just as the VM
+	// halts and the kill lands on an already-finished machine. The backup can
+	// only report a clean completion after the halt marker shipped, which in
+	// turn happens only after every output commit succeeded, so a completed
+	// outcome wins over the kill flag.
+	if !machine.Killed() || outcome == replication.OutcomePrimaryCompleted {
 		return res, nil
 	}
 	if !outcome.Failed() {

@@ -243,6 +243,9 @@ func (p *parser) parseMethod(f []string) error {
 		}
 		in := Instr{Op: op}
 		info := opTable[op]
+		if info.operand != "" && len(f) < 2 {
+			return fmt.Errorf("%s: missing %s operand", f[0], info.operand)
+		}
 		switch info.operand {
 		case "":
 			if len(f) != 1 {

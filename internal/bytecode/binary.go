@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 )
 
 // Binary classfile-analog format: magic, version, then pools, classes,
@@ -152,6 +153,13 @@ func (b *byteSource) Read(p []byte) (int, error) { return io.ReadFull(b.r, p) }
 
 const maxPoolLen = 1 << 24 // sanity bound for decoded lengths
 
+// maxEagerAlloc caps how much capacity a decoder loop pre-allocates from a
+// declared count. Counts up to maxPoolLen are legitimate, but trusting them
+// for up-front allocation lets a five-byte image demand hundreds of
+// megabytes; beyond this cap the slices grow with append as real bytes
+// actually arrive.
+const maxEagerAlloc = 4096
+
 func (br *binReader) uvarint() (uint64, error) {
 	v, err := binary.ReadUvarint(br.r)
 	if err != nil {
@@ -184,11 +192,17 @@ func (br *binReader) str() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	b := make([]byte, n)
-	if _, err := br.r.Read(b); err != nil {
-		return "", fmt.Errorf("%w: short string: %v", ErrBadImage, err)
+	var sb strings.Builder
+	for n > 0 {
+		chunk := min(n, maxEagerAlloc)
+		b := make([]byte, chunk)
+		if _, err := br.r.Read(b); err != nil {
+			return "", fmt.Errorf("%w: short string: %v", ErrBadImage, err)
+		}
+		sb.Write(b)
+		n -= chunk
 	}
-	return string(b), nil
+	return sb.String(), nil
 }
 
 func (br *binReader) boolean() (bool, error) {
@@ -222,39 +236,43 @@ func Decode(r io.Reader) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.IntPool = make([]int64, n)
-	for i := range p.IntPool {
-		if p.IntPool[i], err = br.varint(); err != nil {
+	p.IntPool = make([]int64, 0, min(n, maxEagerAlloc))
+	for i := 0; i < n; i++ {
+		v, err := br.varint()
+		if err != nil {
 			return nil, err
 		}
+		p.IntPool = append(p.IntPool, v)
 	}
 	if n, err = br.length(); err != nil {
 		return nil, err
 	}
-	p.FloatPool = make([]float64, n)
-	for i := range p.FloatPool {
+	p.FloatPool = make([]float64, 0, min(n, maxEagerAlloc))
+	for i := 0; i < n; i++ {
 		bits, err := br.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		p.FloatPool[i] = math.Float64frombits(bits)
+		p.FloatPool = append(p.FloatPool, math.Float64frombits(bits))
 	}
 	if n, err = br.length(); err != nil {
 		return nil, err
 	}
-	p.StrPool = make([]string, n)
-	for i := range p.StrPool {
-		if p.StrPool[i], err = br.str(); err != nil {
+	p.StrPool = make([]string, 0, min(n, maxEagerAlloc))
+	for i := 0; i < n; i++ {
+		s, err := br.str()
+		if err != nil {
 			return nil, err
 		}
+		p.StrPool = append(p.StrPool, s)
 	}
 
 	if n, err = br.length(); err != nil {
 		return nil, err
 	}
-	p.Classes = make([]Class, n)
-	for i := range p.Classes {
-		c := &p.Classes[i]
+	p.Classes = make([]Class, 0, min(n, maxEagerAlloc))
+	for i := 0; i < n; i++ {
+		var c Class
 		if c.Name, err = br.str(); err != nil {
 			return nil, err
 		}
@@ -262,34 +280,39 @@ func Decode(r io.Reader) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Fields = make([]Field, nf)
-		for j := range c.Fields {
-			if c.Fields[j].Name, err = br.str(); err != nil {
+		c.Fields = make([]Field, 0, min(nf, maxEagerAlloc))
+		for j := 0; j < nf; j++ {
+			var fld Field
+			if fld.Name, err = br.str(); err != nil {
 				return nil, err
 			}
+			c.Fields = append(c.Fields, fld)
 		}
 		fin, err := br.varint()
 		if err != nil {
 			return nil, err
 		}
 		c.Finalizer = int32(fin)
+		p.Classes = append(p.Classes, c)
 	}
 
 	if n, err = br.length(); err != nil {
 		return nil, err
 	}
-	p.Statics = make([]string, n)
-	for i := range p.Statics {
-		if p.Statics[i], err = br.str(); err != nil {
+	p.Statics = make([]string, 0, min(n, maxEagerAlloc))
+	for i := 0; i < n; i++ {
+		s, err := br.str()
+		if err != nil {
 			return nil, err
 		}
+		p.Statics = append(p.Statics, s)
 	}
 
 	if n, err = br.length(); err != nil {
 		return nil, err
 	}
-	p.Methods = make([]*Method, n)
-	for i := range p.Methods {
+	p.Methods = make([]*Method, 0, min(n, maxEagerAlloc))
+	for i := 0; i < n; i++ {
 		m := &Method{}
 		if m.Name, err = br.str(); err != nil {
 			return nil, err
@@ -317,8 +340,8 @@ func Decode(r io.Reader) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.Code = make([]Instr, nc)
-		for j := range m.Code {
+		m.Code = make([]Instr, 0, min(nc, maxEagerAlloc))
+		for j := 0; j < nc; j++ {
 			opv, err := br.uvarint()
 			if err != nil {
 				return nil, err
@@ -331,9 +354,9 @@ func Decode(r io.Reader) (*Program, error) {
 			if err != nil {
 				return nil, err
 			}
-			m.Code[j] = Instr{Op: Opcode(opv), A: int32(a), B: int32(bb)}
+			m.Code = append(m.Code, Instr{Op: Opcode(opv), A: int32(a), B: int32(bb)})
 		}
-		p.Methods[i] = m
+		p.Methods = append(p.Methods, m)
 	}
 	entry, err := br.varint()
 	if err != nil {

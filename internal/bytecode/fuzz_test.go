@@ -1,0 +1,166 @@
+package bytecode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedSources are small but representative assembly programs: threads,
+// monitors, natives, arrays, floats, strings, exception edges — the same
+// opcode families the whole-program fuzzer (internal/fuzzgen) exercises.
+var fuzzSeedSources = []string{
+	`
+method main 0 void
+  iconst 42
+  pop
+  ret
+end
+`,
+	`
+static Main.sum
+static Main.lock
+class Lock dummy
+native print io.print 1 void
+native rand sys.rand 0 value
+method worker 1 void
+  iconst 0
+  store 1
+loop:
+  load 1
+  iconst 10
+  icmp
+  jz done
+  call rand
+  store 2
+  gets Main.lock
+  menter
+  gets Main.sum
+  iconst 3
+  iadd
+  puts Main.sum
+  gets Main.lock
+  mexit
+  load 1
+  iconst 1
+  iadd
+  store 1
+  jmp loop
+done:
+  ret
+end
+method main 0 void
+  new Lock
+  puts Main.lock
+  iconst 0
+  puts Main.sum
+  iconst 1
+  spawn worker 1
+  store 0
+  load 0
+  join
+  gets Main.sum
+  i2s
+  call print
+  ret
+end
+`,
+	`
+static Main.box
+class Box value
+native print io.print 1 void
+method main 0 void
+  new Box
+  puts Main.box
+  gets Main.box
+  menter
+  gets Main.box
+  notifyall
+  gets Main.box
+  mexit
+  sconst "done"
+  call print
+  ret
+end
+`,
+}
+
+func fuzzSeedPrograms(f *testing.F) []*Program {
+	f.Helper()
+	var progs []*Program
+	for _, src := range fuzzSeedSources {
+		p, err := AssembleString(src)
+		if err != nil {
+			f.Fatalf("seed program: %v", err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+// FuzzProgramBinary feeds arbitrary bytes to the binary deserialiser: it must
+// either return a verified program or an error — never panic — and anything
+// it accepts must round-trip through Encode/Decode unchanged.
+func FuzzProgramBinary(f *testing.F) {
+	for _, p := range fuzzSeedPrograms(f) {
+		img, err := EncodeBytes(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+		// A corrupted variant seeds the error paths.
+		bad := append([]byte(nil), img...)
+		bad[len(bad)/2] ^= 0xff
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FTVM"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		// Accepted images are verified programs; they must survive a binary
+		// round trip bit-for-bit.
+		img, err := EncodeBytes(p)
+		if err != nil {
+			t.Fatalf("re-encode of accepted image: %v", err)
+		}
+		p2, err := DecodeBytes(img)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded image: %v", err)
+		}
+		img2, err := EncodeBytes(p2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(img, img2) {
+			t.Fatal("binary encoding is not a fixpoint for an accepted image")
+		}
+	})
+}
+
+// FuzzAsmRoundTrip feeds arbitrary text to the assembler: it must never
+// panic, and any program it accepts must reach a disassemble→assemble
+// fixpoint (labels are regenerated, so compare from the first disassembly).
+func FuzzAsmRoundTrip(f *testing.F) {
+	for _, src := range fuzzSeedSources {
+		f.Add(src)
+	}
+	f.Add("")
+	f.Add("method main 0 void\n  ret\nend\n")
+	f.Add("garbage\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := AssembleString(src)
+		if err != nil {
+			return
+		}
+		text := Disassemble(p)
+		p2, err := AssembleString(text)
+		if err != nil {
+			t.Fatalf("disassembly of accepted program does not re-assemble: %v\n%s", err, text)
+		}
+		if text2 := Disassemble(p2); text2 != text {
+			t.Fatalf("disassembly fixpoint violated:\n--- first\n%s\n--- second\n%s", text, text2)
+		}
+	})
+}

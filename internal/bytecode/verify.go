@@ -60,6 +60,15 @@ func verifyMethod(p *Program, m *Method) error {
 	if m.NLocals < m.NArgs {
 		return fmt.Errorf("NLocals %d < NArgs %d", m.NLocals, m.NArgs)
 	}
+	// The verifier does not model reference types, so the tightest sound
+	// bound for a getf/putf operand is the largest field count over all
+	// classes; the interpreter still traps per-class mismatches at run time.
+	maxFields := 0
+	for ci := range p.Classes {
+		if nf := len(p.Classes[ci].Fields); nf > maxFields {
+			maxFields = nf
+		}
+	}
 	n := int32(len(m.Code))
 	for pc, in := range m.Code {
 		info, ok := opTable[in.Op]
@@ -99,6 +108,10 @@ func verifyMethod(p *Program, m *Method) error {
 		case "class":
 			if in.A < 0 || int(in.A) >= len(p.Classes) {
 				return fmt.Errorf("pc %d (%s): class index %d", pc, info.name, in.A)
+			}
+		case "field":
+			if in.A < 0 || int(in.A) >= maxFields {
+				return fmt.Errorf("pc %d (%s): field index %d out of range (max fields %d)", pc, info.name, in.A, maxFields)
 			}
 		case "static":
 			if in.A < 0 || int(in.A) >= len(p.Statics) {

@@ -1,0 +1,258 @@
+package bytecode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mustAssemble assembles src or fails the test. The result has already
+// passed Verify once; tests below mutate it to exercise specific rejections.
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := AssembleString(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// wantVerifyError asserts Verify rejects p with ErrVerify mentioning frag.
+func wantVerifyError(t *testing.T, p *Program, frag string) {
+	t.Helper()
+	err := Verify(p)
+	if err == nil {
+		t.Fatalf("Verify accepted invalid program (wanted error containing %q)", frag)
+	}
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("error %v is not ErrVerify", err)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+const fieldProgSrc = `
+class Pair a b
+class Single x
+method main 0 void
+  new Pair
+  getf Pair.b
+  pop
+  ret
+end
+`
+
+func TestVerifyFieldOperandBounds(t *testing.T) {
+	// The assembled program uses field index 1 (Pair.b) legitimately.
+	p := mustAssemble(t, fieldProgSrc)
+	if err := Verify(p); err != nil {
+		t.Fatalf("valid field access rejected: %v", err)
+	}
+	getfPC := -1
+	for pc, in := range p.Methods[p.Entry].Code {
+		if in.Op == OpGetF {
+			getfPC = pc
+		}
+	}
+	if getfPC < 0 {
+		t.Fatal("no getf in assembled program")
+	}
+
+	for _, bad := range []int32{-1, 2, 1 << 20} {
+		p := mustAssemble(t, fieldProgSrc)
+		p.Methods[p.Entry].Code[getfPC].A = bad
+		wantVerifyError(t, p, "field index")
+	}
+
+	// putf gets the same check.
+	p = mustAssemble(t, fieldProgSrc)
+	m := p.Methods[p.Entry]
+	m.Code[getfPC] = Instr{Op: OpPutF, A: 7}
+	// putf pops two, so feed it another operand first.
+	m.Code = append([]Instr{{Op: OpIConst, A: 0}}, m.Code...)
+	wantVerifyError(t, p, "field index")
+}
+
+func TestVerifyFieldOpWithNoClasses(t *testing.T) {
+	p := &Program{
+		Methods: []*Method{{
+			Name: "main", NLocals: 0,
+			Code: []Instr{
+				{Op: OpIConst, A: 0},
+				{Op: OpGetF, A: 0},
+				{Op: OpPop},
+				{Op: OpRet},
+			},
+		}},
+		Entry: 0,
+	}
+	wantVerifyError(t, p, "field index")
+}
+
+const monitorProgSrc = `
+static Main.lock
+class Lock dummy
+method main 0 void
+  new Lock
+  puts Main.lock
+  gets Main.lock
+  menter
+  gets Main.lock
+  wait
+  gets Main.lock
+  notify
+  gets Main.lock
+  notifyall
+  gets Main.lock
+  mexit
+  ret
+end
+`
+
+func TestVerifyMonitorOps(t *testing.T) {
+	p := mustAssemble(t, monitorProgSrc)
+	if err := Verify(p); err != nil {
+		t.Fatalf("valid monitor program rejected: %v", err)
+	}
+
+	// Each monitor op pops a reference; at depth 0 it must be rejected as
+	// stack underflow, not silently accepted.
+	for _, op := range []Opcode{OpMEnter, OpMExit, OpWait, OpNotify, OpNotifyAll} {
+		p := &Program{
+			Methods: []*Method{{
+				Name: "main",
+				Code: []Instr{{Op: op}, {Op: OpRet}},
+			}},
+			Entry: 0,
+		}
+		wantVerifyError(t, p, "underflow")
+	}
+}
+
+const spawnProgSrc = `
+method worker 2 void
+  ret
+end
+method main 0 void
+  iconst 1
+  iconst 2
+  spawn worker 2
+  join
+  ret
+end
+`
+
+func TestVerifySpawnOps(t *testing.T) {
+	p := mustAssemble(t, spawnProgSrc)
+	if err := Verify(p); err != nil {
+		t.Fatalf("valid spawn program rejected: %v", err)
+	}
+	spawnPC := -1
+	main := p.Methods[p.Entry]
+	for pc, in := range main.Code {
+		if in.Op == OpSpawn {
+			spawnPC = pc
+		}
+	}
+	if spawnPC < 0 {
+		t.Fatal("no spawn in assembled program")
+	}
+
+	// Method index out of range.
+	p = mustAssemble(t, spawnProgSrc)
+	p.Methods[p.Entry].Code[spawnPC].A = 99
+	wantVerifyError(t, p, "method index")
+
+	p = mustAssemble(t, spawnProgSrc)
+	p.Methods[p.Entry].Code[spawnPC].A = -1
+	wantVerifyError(t, p, "method index")
+
+	// Arity mismatch between spawn's B and the callee.
+	p = mustAssemble(t, spawnProgSrc)
+	p.Methods[p.Entry].Code[spawnPC].B = 1
+	wantVerifyError(t, p, "arity")
+
+	// Spawning a native method is rejected.
+	p = mustAssemble(t, spawnProgSrc)
+	p.Methods = append(p.Methods, &Method{
+		Name: "nat", NativeSig: "sys.rand", NArgs: 2, NLocals: 2, Native: true,
+	})
+	p.Methods[p.Entry].Code[spawnPC].A = int32(len(p.Methods) - 1)
+	wantVerifyError(t, p, "native")
+
+	// join pops the thread ref; at depth 0 it underflows.
+	p = &Program{
+		Methods: []*Method{{Name: "main", Code: []Instr{{Op: OpJoin}, {Op: OpRet}}}},
+		Entry:   0,
+	}
+	wantVerifyError(t, p, "underflow")
+}
+
+const nativeProgSrc = `
+native print io.print 1 void
+native rand sys.rand 0 value
+method main 0 void
+  call rand
+  pop
+  sconst "hi"
+  call print
+  ret
+end
+`
+
+func TestVerifyNativeCallOps(t *testing.T) {
+	p := mustAssemble(t, nativeProgSrc)
+	if err := Verify(p); err != nil {
+		t.Fatalf("valid native-call program rejected: %v", err)
+	}
+
+	// A native method must carry a signature and no code.
+	p = mustAssemble(t, nativeProgSrc)
+	p.Methods[0].NativeSig = ""
+	wantVerifyError(t, p, "signature")
+
+	p = mustAssemble(t, nativeProgSrc)
+	p.Methods[0].Code = []Instr{{Op: OpRet}}
+	wantVerifyError(t, p, "native method with code")
+
+	// Calling a native that pops an argument underflows at depth 0.
+	p = mustAssemble(t, nativeProgSrc)
+	main := p.Methods[p.Entry]
+	main.Code = append([]Instr{}, main.Code...)
+	// Rewrite to: call print (1 arg) with empty stack.
+	printIdx := int32(-1)
+	for i, m := range p.Methods {
+		if m.Name == "print" {
+			printIdx = int32(i)
+		}
+	}
+	main.Code = []Instr{{Op: OpCall, A: printIdx}, {Op: OpRet}}
+	wantVerifyError(t, p, "underflow")
+
+	// The entry method must not be native.
+	p = mustAssemble(t, nativeProgSrc)
+	p.Entry = 0 // print
+	wantVerifyError(t, p, "native")
+}
+
+// TestVerifyFieldRoundTripClosure documents why the field check matters to
+// the binary fuzzer: a decoded image with a wild getf index used to verify
+// clean yet disassemble to an un-reassemblable "getf <n>" form.
+func TestVerifyFieldRoundTripClosure(t *testing.T) {
+	p := mustAssemble(t, fieldProgSrc)
+	for pc, in := range p.Methods[p.Entry].Code {
+		if in.Op == OpGetF {
+			p.Methods[p.Entry].Code[pc].A = 9
+		}
+	}
+	img, err := EncodeBytes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBytes(img); err == nil {
+		t.Fatal("decoder accepted image with out-of-range field index")
+	} else if !errors.Is(err, ErrBadImage) {
+		t.Fatalf("error %v is not ErrBadImage", err)
+	}
+}

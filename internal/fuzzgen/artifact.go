@@ -1,0 +1,68 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteArtifact persists a (typically shrunken) failure as a repro artifact
+// set in dir:
+//
+//	seed<seed>-<stage>.mini     minimized program, with a repro header
+//	seed<seed>-<stage>.ref.txt  reference console
+//	seed<seed>-<stage>.got.txt  diverging console (empty on execution error)
+//
+// It returns the .mini path.
+func WriteArtifact(dir string, f *Failure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	base := fmt.Sprintf("seed%d-%s", f.Seed, f.Stage)
+
+	var hdr strings.Builder
+	fmt.Fprintf(&hdr, "// fuzzgen repro: seed %d diverged at stage %q\n", f.Seed, f.Stage)
+	if f.Err != nil {
+		fmt.Fprintf(&hdr, "// error: %v\n", f.Err)
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(&hdr, "// detail: %s\n", f.Detail)
+	}
+	fmt.Fprintf(&hdr, "// re-run: go run ./cmd/ftvm-fuzz -seeds 1 -start %d -size %s -mode %s\n", f.Seed, f.Size, f.Stage)
+	mini := filepath.Join(dir, base+".mini")
+	if err := os.WriteFile(mini, []byte(hdr.String()+f.Source), 0o644); err != nil {
+		return "", err
+	}
+	lines := func(ls []string) []byte {
+		if len(ls) == 0 {
+			return nil
+		}
+		return []byte(strings.Join(ls, "\n") + "\n")
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".ref.txt"), lines(f.Ref), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".got.txt"), lines(f.Got), 0o644); err != nil {
+		return "", err
+	}
+	return mini, nil
+}
+
+// Report shrinks the failure, writes artifacts when c.ArtifactDir is set, and
+// returns a human-readable summary — the one-stop path from "a seed failed"
+// to "here is the minimized repro".
+func (c *Config) Report(p *Prog, f *Failure) string {
+	_, sf := c.Shrink(p, f, 0)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v\n", sf)
+	fmt.Fprintf(&b, "program shrunk to %d lines\n", strings.Count(sf.Source, "\n"))
+	if c.ArtifactDir != "" {
+		if mini, err := WriteArtifact(c.ArtifactDir, sf); err != nil {
+			fmt.Fprintf(&b, "artifact write failed: %v\n", err)
+		} else {
+			fmt.Fprintf(&b, "repro written to %s\n", mini)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,600 @@
+// Package fuzzgen is the whole-program differential fuzzer: a seeded
+// generator of complete multi-threaded minilang programs plus a harness that
+// runs each program standalone, replicated (with the backup's replayed
+// output checked frame-by-frame), and through an injected primary failure
+// (kill or channel fault) with the promoted backup finishing the run — and
+// requires all of them to observably agree. On divergence it greedily
+// shrinks the program and writes a minimized repro artifact.
+//
+// Generated programs are schedule-insensitive by construction, which is what
+// makes the three-way comparison sound: every printed value is a pure
+// function of the program text (thread-local state, constants), shared
+// globals are updated only under a per-global fixed lock with a commutative
+// operator (so the post-join total is interleaving-independent), shared
+// array slots are written only by their owning thread, and non-deterministic
+// natives (rand, clock) are drawn and discarded — they exercise the
+// native-result logging machinery without leaking entropy into the output.
+// Cross-thread print interleaving is legally schedule-dependent, so outputs
+// are compared as sorted multisets across modes, and frame-by-frame per
+// output stream for the backup's replay of a completed log.
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+
+	frand "repro/internal/fuzzgen/rand"
+)
+
+// Size selects how large generated programs are.
+type Size int
+
+// Program sizes.
+const (
+	SizeSmall  Size = iota // smoke-quota sized: a few threads, short loops
+	SizeMedium             // soak default
+	SizeLarge              // stress: more threads, deeper bodies
+)
+
+func (s Size) String() string {
+	switch s {
+	case SizeSmall:
+		return "small"
+	case SizeMedium:
+		return "medium"
+	case SizeLarge:
+		return "large"
+	default:
+		return "invalid"
+	}
+}
+
+// SizeByName parses a -size flag value.
+func SizeByName(name string) (Size, error) {
+	switch name {
+	case "small":
+		return SizeSmall, nil
+	case "medium":
+		return SizeMedium, nil
+	case "large":
+		return SizeLarge, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (small, medium, large)", name)
+}
+
+type sizeParams struct {
+	maxSpawns  int
+	maxWorkers int
+	maxStmts   int // per worker body
+	maxLoop    int // per-loop iteration bound
+	maxMainMid int
+	maxGlobals int
+}
+
+func (s Size) params() sizeParams {
+	switch s {
+	case SizeMedium:
+		return sizeParams{maxSpawns: 4, maxWorkers: 3, maxStmts: 10, maxLoop: 8, maxMainMid: 3, maxGlobals: 4}
+	case SizeLarge:
+		return sizeParams{maxSpawns: 6, maxWorkers: 4, maxStmts: 14, maxLoop: 10, maxMainMid: 4, maxGlobals: 5}
+	default:
+		return sizeParams{maxSpawns: 3, maxWorkers: 2, maxStmts: 7, maxLoop: 5, maxMainMid: 2, maxGlobals: 3}
+	}
+}
+
+// Global is a shared int accumulator with a fixed commutative update
+// operator and a fixed guarding lock — the pair that keeps its post-join
+// value schedule-independent.
+type Global struct {
+	Name string
+	Op   string // "+", "^" or "|"
+	Init int64
+	Lock int // index of the lock object guarding every update
+}
+
+// Worker is one spawned function body.
+type Worker struct {
+	Name string
+	Body []Stmt
+}
+
+// Prog is the generated-program IR. The shrinker edits clones of it; Render
+// turns it into minilang source.
+type Prog struct {
+	Seed    uint64
+	Size    Size
+	Globals []*Global
+	NLocks  int
+	Gate    bool // barrier gate: workers bump, awaiters wait for all bumps
+	Slots   bool // shared []int with one owned slot per thread
+	Workers []*Worker
+	Spawns  []int // worker index per spawn; spawn i runs with self == i
+	MainMid []Stmt
+	Epi     []Stmt
+}
+
+// Stmt is a generated statement.
+type Stmt interface{ cloneStmt() Stmt }
+
+// Expr is a generated (deterministic, thread-local) int expression.
+type Expr interface{ cloneExpr() Expr }
+
+// Statements.
+
+// DeclStmt declares a local int: var Name int = E;
+type DeclStmt struct {
+	Name string
+	E    Expr
+}
+
+// AssignStmt assigns a local: Name = E;
+type AssignStmt struct {
+	Name string
+	E    Expr
+}
+
+// ForStmt is a constant-bounded counting loop.
+type ForStmt struct {
+	Var  string
+	N    int
+	Body []Stmt
+}
+
+// IfStmt branches on a deterministic condition.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// LockStmt is lock (lk<Lock>) { Body }; Body only updates globals guarded by
+// this lock (and prints).
+type LockStmt struct {
+	Lock int
+	Body []Stmt
+}
+
+// UpdStmt updates a global with its fixed operator: g = g OP (E);
+type UpdStmt struct {
+	Global *Global
+	E      Expr
+}
+
+// PrintStmt prints a keyed, stream-tagged deterministic value.
+type PrintStmt struct {
+	Key string
+	E   Expr
+}
+
+// MarkerStmt prints a fixed stream-tagged marker line.
+type MarkerStmt struct{ Text string }
+
+// PrintGlobalStmt prints a global (epilogue only, after all joins).
+type PrintGlobalStmt struct{ Global *Global }
+
+// SlotWriteStmt writes the current thread's owned slot: slots[self] = E
+// (main owns the extra last slot).
+type SlotWriteStmt struct{ E Expr }
+
+// SlotDumpStmt prints every slot (epilogue only).
+type SlotDumpStmt struct{}
+
+// Native kinds for NativeStmt.
+const (
+	NativeRand      = iota // junk = rand();     draws a logged native result
+	NativeClock            // junk = junk ^ clock();
+	NativeYield            // yield;
+	NativeLockTouch        // locktouch(lk<Lock>);
+)
+
+// NativeStmt exercises a native without leaking its value into the output.
+type NativeStmt struct {
+	Kind int
+	Lock int // NativeLockTouch target
+}
+
+// BumpStmt is the gate barrier arrival (first statement of every worker when
+// the gate is enabled).
+type BumpStmt struct{}
+
+// AwaitStmt blocks until every spawned worker has bumped; the threshold is
+// computed at render time so dropping spawns keeps the program deadlock-free.
+type AwaitStmt struct{}
+
+// Expressions.
+
+// Lit is an int literal.
+type Lit struct{ V int64 }
+
+// VarExpr reads an in-scope local (including self and loop counters).
+type VarExpr struct{ Name string }
+
+// BinExpr applies Op; for "/", "%", "<<", ">>" the Y side is a safe literal.
+type BinExpr struct {
+	Op   string
+	X, Y Expr
+}
+
+// UnExpr applies "-" or "!".
+type UnExpr struct {
+	Op string
+	X  Expr
+}
+
+// MixExpr calls the fixed helper func mix(a, b).
+type MixExpr struct{ A, B Expr }
+
+// Clones (deep copies for the shrinker).
+
+func cloneStmts(in []Stmt) []Stmt {
+	if in == nil {
+		return nil
+	}
+	out := make([]Stmt, len(in))
+	for i, s := range in {
+		out[i] = s.cloneStmt()
+	}
+	return out
+}
+
+func (s *DeclStmt) cloneStmt() Stmt   { return &DeclStmt{Name: s.Name, E: s.E.cloneExpr()} }
+func (s *AssignStmt) cloneStmt() Stmt { return &AssignStmt{Name: s.Name, E: s.E.cloneExpr()} }
+func (s *ForStmt) cloneStmt() Stmt {
+	return &ForStmt{Var: s.Var, N: s.N, Body: cloneStmts(s.Body)}
+}
+func (s *IfStmt) cloneStmt() Stmt {
+	return &IfStmt{Cond: s.Cond.cloneExpr(), Then: cloneStmts(s.Then), Else: cloneStmts(s.Else)}
+}
+func (s *LockStmt) cloneStmt() Stmt { return &LockStmt{Lock: s.Lock, Body: cloneStmts(s.Body)} }
+func (s *UpdStmt) cloneStmt() Stmt  { return &UpdStmt{Global: s.Global, E: s.E.cloneExpr()} }
+func (s *PrintStmt) cloneStmt() Stmt {
+	return &PrintStmt{Key: s.Key, E: s.E.cloneExpr()}
+}
+func (s *MarkerStmt) cloneStmt() Stmt      { return &MarkerStmt{Text: s.Text} }
+func (s *PrintGlobalStmt) cloneStmt() Stmt { return &PrintGlobalStmt{Global: s.Global} }
+func (s *SlotWriteStmt) cloneStmt() Stmt   { return &SlotWriteStmt{E: s.E.cloneExpr()} }
+func (s *SlotDumpStmt) cloneStmt() Stmt    { return &SlotDumpStmt{} }
+func (s *NativeStmt) cloneStmt() Stmt      { return &NativeStmt{Kind: s.Kind, Lock: s.Lock} }
+func (s *BumpStmt) cloneStmt() Stmt        { return &BumpStmt{} }
+func (s *AwaitStmt) cloneStmt() Stmt       { return &AwaitStmt{} }
+
+func (e *Lit) cloneExpr() Expr     { return &Lit{V: e.V} }
+func (e *VarExpr) cloneExpr() Expr { return &VarExpr{Name: e.Name} }
+func (e *BinExpr) cloneExpr() Expr {
+	return &BinExpr{Op: e.Op, X: e.X.cloneExpr(), Y: e.Y.cloneExpr()}
+}
+func (e *UnExpr) cloneExpr() Expr  { return &UnExpr{Op: e.Op, X: e.X.cloneExpr()} }
+func (e *MixExpr) cloneExpr() Expr { return &MixExpr{A: e.A.cloneExpr(), B: e.B.cloneExpr()} }
+
+// Clone deep-copies the program. Globals are cloned too so mutations of the
+// copy never alias the original.
+func (p *Prog) Clone() *Prog {
+	cp := &Prog{
+		Seed:   p.Seed,
+		Size:   p.Size,
+		NLocks: p.NLocks,
+		Gate:   p.Gate,
+		Slots:  p.Slots,
+		Spawns: append([]int(nil), p.Spawns...),
+	}
+	remap := make(map[*Global]*Global, len(p.Globals))
+	for _, g := range p.Globals {
+		ng := &Global{Name: g.Name, Op: g.Op, Init: g.Init, Lock: g.Lock}
+		remap[g] = ng
+		cp.Globals = append(cp.Globals, ng)
+	}
+	rebind := func(stmts []Stmt) []Stmt {
+		out := cloneStmts(stmts)
+		var walk func([]Stmt)
+		walk = func(ss []Stmt) {
+			for _, s := range ss {
+				switch st := s.(type) {
+				case *UpdStmt:
+					st.Global = remap[st.Global]
+				case *PrintGlobalStmt:
+					st.Global = remap[st.Global]
+				case *ForStmt:
+					walk(st.Body)
+				case *IfStmt:
+					walk(st.Then)
+					walk(st.Else)
+				case *LockStmt:
+					walk(st.Body)
+				}
+			}
+		}
+		walk(out)
+		return out
+	}
+	for _, w := range p.Workers {
+		cp.Workers = append(cp.Workers, &Worker{Name: w.Name, Body: rebind(w.Body)})
+	}
+	cp.MainMid = rebind(p.MainMid)
+	cp.Epi = rebind(p.Epi)
+	return cp
+}
+
+// generator carries the per-program generation state.
+type generator struct {
+	rng    *frand.RNG
+	p      *Prog
+	params sizeParams
+	nKey   int // unique print-key counter
+	nVar   int // unique local-name counter (per function, reset)
+	nLoop  int
+}
+
+// Generate builds a random program from seed. The same (seed, size) pair
+// always yields the same program.
+func Generate(seed uint64, size Size) *Prog {
+	g := &generator{
+		rng:    frand.New(seed*0x9e3779b97f4a7c15 + uint64(size) + 1),
+		params: size.params(),
+	}
+	g.p = &Prog{Seed: seed, Size: size}
+	g.build()
+	return g.p
+}
+
+func (g *generator) build() {
+	p, pr := g.p, g.params
+
+	// Shared state: locks first, then globals bound to them.
+	p.NLocks = g.rng.Range(1, 2)
+	nGlobals := g.rng.Range(1, pr.maxGlobals)
+	ops := []string{"+", "+", "^", "|"} // addition dominates, like real code
+	for i := 0; i < nGlobals; i++ {
+		p.Globals = append(p.Globals, &Global{
+			Name: fmt.Sprintf("g%d", i),
+			Op:   ops[g.rng.Intn(len(ops))],
+			Init: int64(g.rng.Range(-50, 50)),
+			Lock: i % p.NLocks,
+		})
+	}
+	p.Gate = g.rng.Chance(1, 2)
+	p.Slots = g.rng.Chance(7, 10)
+
+	// Workers and spawn sites.
+	nWorkers := g.rng.Range(1, pr.maxWorkers)
+	nSpawns := g.rng.Range(1, pr.maxSpawns)
+	if nSpawns < nWorkers {
+		nWorkers = nSpawns
+	}
+	for w := 0; w < nWorkers; w++ {
+		p.Workers = append(p.Workers, &Worker{Name: fmt.Sprintf("worker%d", w)})
+	}
+	for s := 0; s < nSpawns; s++ {
+		// Every worker gets at least one spawn; extras are random.
+		wi := s % nWorkers
+		if s >= nWorkers {
+			wi = g.rng.Intn(nWorkers)
+		}
+		p.Spawns = append(p.Spawns, wi)
+	}
+	for _, w := range p.Workers {
+		w.Body = g.workerBody()
+	}
+
+	// Main's own mid-run statements (between spawns and joins).
+	g.nVar, g.nLoop = 0, 0
+	scope := []string{}
+	for i, n := 0, g.rng.Range(0, pr.maxMainMid); i < n; i++ {
+		if s := g.stmt(&scope, false, 0); s != nil {
+			p.MainMid = append(p.MainMid, s)
+		}
+	}
+	if p.Gate && g.rng.Chance(1, 2) {
+		p.MainMid = append(p.MainMid, &AwaitStmt{})
+	}
+
+	// Epilogue: observe every piece of shared state, then the end marker.
+	for _, gl := range p.Globals {
+		p.Epi = append(p.Epi, &PrintGlobalStmt{Global: gl})
+	}
+	if p.Slots {
+		p.Epi = append(p.Epi, &SlotDumpStmt{})
+	}
+	p.Epi = append(p.Epi, &MarkerStmt{Text: "end"})
+}
+
+// workerBody generates one worker function body.
+func (g *generator) workerBody() []Stmt {
+	g.nVar, g.nLoop = 0, 0
+	var body []Stmt
+	if g.p.Gate {
+		body = append(body, &BumpStmt{})
+	}
+	scope := []string{"self"}
+	n := g.rng.Range(3, g.params.maxStmts)
+	for i := 0; i < n; i++ {
+		if s := g.stmt(&scope, true, 0); s != nil {
+			body = append(body, s)
+		}
+	}
+	if g.p.Slots && g.rng.Chance(4, 5) {
+		body = append(body, &SlotWriteStmt{E: g.expr(scope, 2)})
+	}
+	if g.p.Gate && g.rng.Chance(1, 3) {
+		// A worker-side barrier: legal anywhere after the bump (every worker
+		// bumps unconditionally first, so the await threshold is always
+		// reached), and it makes wait/notifyall fire under real contention.
+		pos := 1 + g.rng.Intn(len(body))
+		body = append(body[:pos:pos], append([]Stmt{&AwaitStmt{}}, body[pos:]...)...)
+	}
+	return body
+}
+
+// stmt generates one statement. scope accumulates declared locals; inWorker
+// enables worker-only constructs; depth bounds nesting.
+func (g *generator) stmt(scope *[]string, inWorker bool, depth int) Stmt {
+	for {
+		switch g.rng.Intn(16) {
+		case 0, 1:
+			name := fmt.Sprintf("v%d", g.nVar)
+			g.nVar++
+			s := &DeclStmt{Name: name, E: g.expr(*scope, 2)}
+			*scope = append(*scope, name)
+			return s
+		case 2, 3:
+			if tgt := g.mutableVar(*scope); tgt != "" {
+				return &AssignStmt{Name: tgt, E: g.expr(*scope, 2)}
+			}
+		case 4, 5:
+			if depth < 2 {
+				v := fmt.Sprintf("i%d", g.nLoop)
+				g.nLoop++
+				inner := append(append([]string(nil), *scope...), v)
+				return &ForStmt{Var: v, N: g.rng.Range(2, g.params.maxLoop),
+					Body: g.block(inner, inWorker, depth+1, 3)}
+			}
+		case 6:
+			if depth < 2 {
+				s := &IfStmt{
+					Cond: g.condExpr(*scope),
+					Then: g.block(append([]string(nil), *scope...), inWorker, depth+1, 2),
+				}
+				if g.rng.Chance(2, 5) {
+					s.Else = g.block(append([]string(nil), *scope...), inWorker, depth+1, 2)
+				}
+				return s
+			}
+		case 7, 8, 9:
+			return g.lockStmt(*scope)
+		case 10, 11, 12:
+			return g.printStmt(*scope)
+		case 13, 14:
+			return g.nativeStmt()
+		case 15:
+			if inWorker && g.p.Slots {
+				return &SlotWriteStmt{E: g.expr(*scope, 2)}
+			}
+		}
+	}
+}
+
+// block generates up to max statements with a block-local scope copy.
+func (g *generator) block(scope []string, inWorker bool, depth, max int) []Stmt {
+	n := g.rng.Range(1, max)
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		if s := g.stmt(&scope, inWorker, depth); s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, g.printStmt(scope))
+	}
+	return out
+}
+
+// lockStmt generates a critical section on one lock, updating only globals
+// guarded by that lock (the race-freedom invariant).
+func (g *generator) lockStmt(scope []string) Stmt {
+	lk := g.rng.Intn(g.p.NLocks)
+	var guarded []*Global
+	for _, gl := range g.p.Globals {
+		if gl.Lock == lk {
+			guarded = append(guarded, gl)
+		}
+	}
+	if len(guarded) == 0 {
+		// A lock with no globals (possible after shrinking remaps) degrades
+		// to a print-holding critical section.
+		return &LockStmt{Lock: lk, Body: []Stmt{g.printStmt(scope)}}
+	}
+	var body []Stmt
+	for i, n := 0, g.rng.Range(1, 3); i < n; i++ {
+		body = append(body, &UpdStmt{Global: guarded[g.rng.Intn(len(guarded))], E: g.expr(scope, 2)})
+	}
+	if g.rng.Chance(1, 4) {
+		body = append(body, g.printStmt(scope))
+	}
+	return &LockStmt{Lock: lk, Body: body}
+}
+
+func (g *generator) printStmt(scope []string) Stmt {
+	g.nKey++
+	return &PrintStmt{Key: fmt.Sprintf("k%d", g.nKey), E: g.expr(scope, 3)}
+}
+
+func (g *generator) nativeStmt() Stmt {
+	switch g.rng.Intn(4) {
+	case 0:
+		return &NativeStmt{Kind: NativeRand}
+	case 1:
+		return &NativeStmt{Kind: NativeClock}
+	case 2:
+		return &NativeStmt{Kind: NativeYield}
+	default:
+		return &NativeStmt{Kind: NativeLockTouch, Lock: g.rng.Intn(g.p.NLocks)}
+	}
+}
+
+// mutableVar picks an assignable local: declared vars only ("v<n>" by the
+// naming convention). self doubles as the thread's slot index, and loop
+// counters must stay monotone or the constant bound stops terminating the
+// loop — neither may be assignment targets.
+func (g *generator) mutableVar(scope []string) string {
+	var cands []string
+	for _, v := range scope {
+		if strings.HasPrefix(v, "v") {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// expr generates a deterministic int expression over scope with bounded depth.
+func (g *generator) expr(scope []string, depth int) Expr {
+	if depth == 0 || g.rng.Chance(1, 3) {
+		if len(scope) > 0 && g.rng.Chance(1, 2) {
+			return &VarExpr{Name: scope[g.rng.Intn(len(scope))]}
+		}
+		return &Lit{V: int64(g.rng.Range(-100, 100))}
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		return &BinExpr{Op: "+", X: g.expr(scope, depth-1), Y: g.expr(scope, depth-1)}
+	case 1:
+		return &BinExpr{Op: "-", X: g.expr(scope, depth-1), Y: g.expr(scope, depth-1)}
+	case 2:
+		return &BinExpr{Op: "*", X: g.expr(scope, depth-1), Y: g.expr(scope, depth-1)}
+	case 3:
+		// Division and remainder keep a non-zero literal divisor.
+		op := "/"
+		if g.rng.Bool() {
+			op = "%"
+		}
+		return &BinExpr{Op: op, X: g.expr(scope, depth-1), Y: &Lit{V: int64(g.rng.Range(1, 9))}}
+	case 4:
+		op := "<<"
+		if g.rng.Bool() {
+			op = ">>"
+		}
+		return &BinExpr{Op: op, X: g.expr(scope, depth-1), Y: &Lit{V: int64(g.rng.Range(0, 8))}}
+	case 5:
+		ops := []string{"&", "|", "^"}
+		return &BinExpr{Op: ops[g.rng.Intn(3)], X: g.expr(scope, depth-1), Y: g.expr(scope, depth-1)}
+	case 6:
+		return g.condExpr(scope)
+	case 7:
+		ops := []string{"&&", "||"}
+		return &BinExpr{Op: ops[g.rng.Intn(2)], X: g.condExpr(scope), Y: g.condExpr(scope)}
+	case 8:
+		return &UnExpr{Op: "-", X: g.expr(scope, depth-1)}
+	case 9:
+		return &UnExpr{Op: "!", X: g.expr(scope, depth-1)}
+	default:
+		return &MixExpr{A: g.expr(scope, depth-1), B: g.expr(scope, depth-1)}
+	}
+}
+
+// condExpr generates a comparison (used for if conditions and logical
+// operands).
+func (g *generator) condExpr(scope []string) Expr {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	return &BinExpr{Op: ops[g.rng.Intn(len(ops))], X: g.expr(scope, 1), Y: g.expr(scope, 1)}
+}

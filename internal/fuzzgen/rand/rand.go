@@ -1,0 +1,50 @@
+// Package rand is the repository's shared deterministic PRNG: SplitMix64
+// (Steele, Lea, Flood; "Fast Splittable Pseudorandom Number Generators").
+// One implementation serves every consumer that needs reproducible,
+// seed-addressable randomness — the scheduling policy's preemption jitter
+// (vm.SeededPolicy), the expression fuzzer in minilang, and the whole-program
+// generator in fuzzgen — so that "the failing seed" means the same thing
+// everywhere. It is intentionally not cryptographic and intentionally not
+// math/rand: the full state is one word, sequences are identical across
+// platforms and Go releases, and there is no global locking.
+package rand
+
+const golden = 0x9e3779b97f4a7c15 // 2^64 / φ, the Weyl sequence increment
+
+// RNG is a SplitMix64 generator. The zero value is a valid generator seeded
+// with 0.
+type RNG struct{ state uint64 }
+
+// New returns a generator whose first output is determined by seed. The
+// state is the seed itself (no pre-mixing), so callers that historically
+// XOR-folded their seeds keep byte-identical sequences.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Next() >> 1) }
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Range returns a value in [lo, hi]. hi must be >= lo.
+func (r *RNG) Range(lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool { return r.Next()&1 == 1 }
+
+// Chance returns true with probability num/den.
+func (r *RNG) Chance(num, den int) bool { return r.Intn(den) < num }
+
+// Fork derives an independent generator from the current one, consuming one
+// output. Forked streams let one seed drive several consumers without their
+// draw counts interfering.
+func (r *RNG) Fork() *RNG { return New(r.Next()) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/env"
+	fuzzrand "repro/internal/fuzzgen/rand"
 	"repro/internal/vm"
 )
 
@@ -16,20 +17,12 @@ import (
 // epilogues against an independent implementation.
 
 type exprGen struct {
-	state uint64
-	vars  []string
-	vals  map[string]int64
+	rng  *fuzzrand.RNG
+	vars []string
+	vals map[string]int64
 }
 
-func (g *exprGen) next() uint64 {
-	g.state += 0x9e3779b97f4a7c15
-	z := g.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-func (g *exprGen) intn(n int) int { return int(g.next() % uint64(n)) }
+func (g *exprGen) intn(n int) int { return g.rng.Intn(n) }
 
 // gen returns (source, value) for a random expression of bounded depth.
 // Division and shifts are constrained to defined behaviour.
@@ -112,9 +105,9 @@ func boolInt(b bool) int64 {
 
 func TestExpressionFuzz(t *testing.T) {
 	g := &exprGen{
-		state: 0xfeedface,
-		vars:  []string{"a", "b", "c"},
-		vals:  map[string]int64{"a": 17, "b": -5, "c": 1000003},
+		rng:  fuzzrand.New(0xfeedface),
+		vars: []string{"a", "b", "c"},
+		vals: map[string]int64{"a": 17, "b": -5, "c": 1000003},
 	}
 	const batch = 25
 	for round := 0; round < 8; round++ {

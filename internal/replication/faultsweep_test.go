@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -96,13 +97,14 @@ end
 // reference output exactly once.
 func TestChannelFaultSweep(t *testing.T) {
 	prog := mustAssemble(t, faultProgram)
+	seeds := sweepSeedsFromEnv(t)
 
 	// Failure-free reference run.
-	refEnv := env.New(1234)
+	refEnv := env.New(seeds.env)
 	refVM, err := vm.New(vm.Config{
 		Program:     prog,
 		Env:         refEnv,
-		Coordinator: vm.NewDefaultCoordinator(vm.NewSeededPolicy(77, 64, 512)),
+		Coordinator: vm.NewDefaultCoordinator(vm.NewSeededPolicy(seeds.policy, 64, 512)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,13 +145,13 @@ func TestChannelFaultSweep(t *testing.T) {
 			name := fmt.Sprintf("%v/%v@%d", mode, fc.kind, fc.at)
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
-				environ := env.New(1234)
+				environ := env.New(seeds.env)
 				pa, pb := transport.Pipe(4096)
-				faulty := transport.NewFaulty(pa, transport.FaultPlan{Kind: fc.kind, At: fc.at}, 7)
+				faulty := transport.NewFaulty(pa, transport.FaultPlan{Kind: fc.kind, At: fc.at}, seeds.faulty)
 				primary, err := NewPrimary(PrimaryConfig{
 					Mode:       mode,
 					Endpoint:   faulty,
-					Policy:     vm.NewSeededPolicy(77, 64, 512),
+					Policy:     vm.NewSeededPolicy(seeds.policy, 64, 512),
 					FlushEvery: 4, // tiny batches: many frames, mid-protocol faults
 					AckTimeout: 150 * time.Millisecond,
 				})
@@ -192,7 +194,12 @@ func TestChannelFaultSweep(t *testing.T) {
 				}
 
 				if outcome == OutcomePrimaryCompleted {
-					if runErr != nil {
+					// Last-ack window: a fault can eat the final halt-sync ack,
+					// so the backup sees a clean halt while the primary reports
+					// the backup lost. The console is complete on both sides
+					// (the halt marker only ships after every output commit),
+					// so only *other* primary errors are failures here.
+					if runErr != nil && !errors.Is(runErr, ErrBackupLost) {
 						t.Fatalf("backup saw clean halt but primary failed: %v", runErr)
 					}
 					if got := canonicalize(environ.Console().Lines()); got != want {
@@ -206,7 +213,7 @@ func TestChannelFaultSweep(t *testing.T) {
 				if _, _, err := backup.Recover(RecoverConfig{
 					Program: prog,
 					Env:     environ,
-					Policy:  vm.NewSeededPolicy(4242, 100, 900),
+					Policy:  vm.NewSeededPolicy(seeds.recover, 100, 900),
 				}); err != nil {
 					t.Fatalf("recover after %v: %v", outcome, err)
 				}

@@ -20,15 +20,16 @@ import (
 // output commits, during lock-heavy phases, near completion.
 func TestKillPointSweep(t *testing.T) {
 	prog := mustAssemble(t, testProgram)
+	seeds := sweepSeedsFromEnv(t)
 
 	// Reference run (unreplicated, same env seed and primary policy seed):
 	// the final sum adopts the primary's entropy stream, so it is the
 	// ground truth for every recovered execution.
-	refEnv := env.New(1234)
+	refEnv := env.New(seeds.env)
 	refVM, err := vm.New(vm.Config{
 		Program:     prog,
 		Env:         refEnv,
-		Coordinator: vm.NewDefaultCoordinator(vm.NewSeededPolicy(77, 64, 512)),
+		Coordinator: vm.NewDefaultCoordinator(vm.NewSeededPolicy(seeds.policy, 64, 512)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -42,12 +43,12 @@ func TestKillPointSweep(t *testing.T) {
 		for _, killAt := range []int{1, 5, 20, 80, 200, 800} {
 			name := fmt.Sprintf("%v/kill%d", mode, killAt)
 			t.Run(name, func(t *testing.T) {
-				environ := env.New(1234)
+				environ := env.New(seeds.env)
 				pa, pb := transport.Pipe(4096)
 				primary, err := NewPrimary(PrimaryConfig{
 					Mode:       mode,
 					Endpoint:   pa,
-					Policy:     vm.NewSeededPolicy(77, 64, 512),
+					Policy:     vm.NewSeededPolicy(seeds.policy, 64, 512),
 					FlushEvery: 4, // tiny batches: expose mid-protocol kills
 				})
 				if err != nil {
@@ -92,7 +93,7 @@ func TestKillPointSweep(t *testing.T) {
 				_, _, err = backup.Recover(RecoverConfig{
 					Program: prog,
 					Env:     environ,
-					Policy:  vm.NewSeededPolicy(4242, 100, 900),
+					Policy:  vm.NewSeededPolicy(seeds.recover, 100, 900),
 				})
 				if err != nil {
 					t.Fatalf("recover: %v", err)

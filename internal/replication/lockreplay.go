@@ -62,6 +62,19 @@ func (c *lockReplay) canAcquire(t *vm.Thread, m *vm.Monitor) (bool, error) {
 		// (cold recovery: wait for the global drain, then run free — "end
 		// of recovery at the backup") or, while the log is open, the record
 		// simply has not arrived yet.
+		//
+		// One exception on a closed log: an id map addressed to exactly
+		// (t, t_asn) whose acquisition record was cut off by the log prefix.
+		// The map proves this acquisition created the lock at the primary —
+		// a first-ever acquisition has no cross-thread ordering to wait for,
+		// so the assigner may proceed (and consume the map in AssignLID).
+		// Without this, the orphaned map holds idmapPending above zero and
+		// deadlocks every thread gated on the global drain.
+		if !c.a.open && m.LID < 0 {
+			if _, hasMap := c.a.idmaps[t.VTID][t.TASN]; hasMap {
+				return true, nil
+			}
+		}
 		return c.a.lockPending == 0 && c.a.idmapPending == 0 && !c.a.open, nil
 	}
 	if rec.TASN != t.TASN {

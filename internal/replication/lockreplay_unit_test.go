@@ -173,6 +173,71 @@ func TestDivergenceDetection(t *testing.T) {
 	})
 }
 
+func TestOrphanedTrailingIDMapDoesNotDeadlock(t *testing.T) {
+	// Regression, found by the differential fuzzer (seed 43, failover): a
+	// channel fault cut the log immediately after an id-map record, before
+	// its matching acquisition record shipped. The map proves its thread's
+	// (t, t_asn) acquisition was the lock's first ever, so the thread must
+	// be allowed to proceed and consume the map; previously it gated on the
+	// global drain, the orphaned map held idmapPending above zero, and every
+	// thread deadlocked.
+	c := lockReplayFor(t, []wire.Record{
+		&wire.IDMap{LID: 1, TID: "0", TASN: 0},
+		&wire.LockAcq{TID: "0", TASN: 0, LID: 1, LASN: 0},
+		&wire.LockAcq{TID: "0.3", TASN: 0, LID: 1, LASN: 1},
+		&wire.IDMap{LID: 2, TID: "0.3", TASN: 1}, // acquisition record cut off
+	})
+	main := &vm.Thread{VTID: "0"}
+	worker := &vm.Thread{VTID: "0.3"}
+	other := &vm.Thread{VTID: "0.1"} // no records at all
+
+	// Drain the shared lock: main's acquisition, then the worker's.
+	lk := &vm.Monitor{LID: -1}
+	if _, _, err := c.AssignLID(nil, main, lk); err != nil {
+		t.Fatal(err)
+	}
+	lk.LID = 1
+	if err := c.OnAcquired(nil, main, lk); err != nil {
+		t.Fatal(err)
+	}
+	lk.LASN = 1
+	if ok, err := c.canAcquire(worker, lk); err != nil || !ok {
+		t.Fatalf("worker's recorded turn: %v %v", ok, err)
+	}
+	if err := c.OnAcquired(nil, worker, lk); err != nil {
+		t.Fatal(err)
+	}
+	worker.TASN = 1
+
+	// Acquisition records are drained but the orphaned map remains: a
+	// recordless thread must still wait...
+	fresh := &vm.Monitor{LID: -1}
+	if ok, err := c.canAcquire(other, fresh); err != nil || ok {
+		t.Fatalf("recordless thread should wait on the pending map: %v %v", ok, err)
+	}
+	// ...while the map's addressee proceeds with the first-ever acquisition.
+	own := &vm.Monitor{LID: -1}
+	if ok, err := c.canAcquire(worker, own); err != nil || !ok {
+		t.Fatalf("assigner with orphaned map must proceed: %v %v", ok, err)
+	}
+	lid, granted, err := c.AssignLID(nil, worker, own)
+	if err != nil || !granted || lid != 2 {
+		t.Fatalf("assign = %d %v %v", lid, granted, err)
+	}
+	own.LID = lid
+	if err := c.OnAcquired(nil, worker, own); err != nil {
+		t.Fatal(err)
+	}
+
+	// Map consumed: recovery drains and the recordless thread runs free.
+	if !c.recoveryDone() {
+		t.Fatal("orphaned map still pending after assigner consumed it")
+	}
+	if ok, err := c.canAcquire(other, fresh); err != nil || !ok {
+		t.Fatalf("post-drain acquire: %v %v", ok, err)
+	}
+}
+
 func TestAnalyzeRejectsDuplicateIDMaps(t *testing.T) {
 	_, err := analyze([]wire.Record{
 		&wire.IDMap{LID: 1, TID: "0", TASN: 0},

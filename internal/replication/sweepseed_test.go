@@ -1,0 +1,56 @@
+package replication
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	frand "repro/internal/fuzzgen/rand"
+)
+
+// sweepSeeds collects every seed the failure-injection sweeps draw on: the
+// environment entropy stream (shared by the reference run and the pair, so
+// recovered output is comparable), the primary scheduling policy, the
+// deliberately-different recovery policy, and the fault-injection RNG.
+//
+// The zero configuration is the historical fixed set (env 1234, policy 77,
+// recovery 4242, faulty 7). Setting FTVM_FUZZ_SEED=<n> re-derives all four
+// from n via splitmix64 so a soak loop can sweep fresh schedules and fault
+// timings; on any failure the full derived set is logged so the run can be
+// reproduced exactly.
+type sweepSeeds struct {
+	source  string // "default" or the FTVM_FUZZ_SEED value
+	env     int64
+	policy  int64
+	recover int64
+	faulty  int64
+}
+
+func sweepSeedsFromEnv(t *testing.T) sweepSeeds {
+	t.Helper()
+	s := sweepSeeds{source: "default", env: 1234, policy: 77, recover: 4242, faulty: 7}
+	if v := os.Getenv("FTVM_FUZZ_SEED"); v != "" {
+		base, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			t.Fatalf("bad FTVM_FUZZ_SEED %q: %v", v, err)
+		}
+		rng := frand.New(base)
+		s.source = v
+		s.env = int64(rng.Next() >> 2)
+		// Policy seeds are forced odd (so never zero), matching the fuzzgen
+		// harness derivation in internal/fuzzgen.
+		s.policy = int64(rng.Next()>>2) | 1
+		s.recover = int64(rng.Next()>>2) | 1
+		s.faulty = int64(rng.Next() >> 2)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("sweep seeds (FTVM_FUZZ_SEED=%s): env=%d policy=%d recover=%d faulty=%d",
+				s.source, s.env, s.policy, s.recover, s.faulty)
+			if s.source != "default" {
+				t.Logf("re-run: FTVM_FUZZ_SEED=%s go test -run %s ./internal/replication", s.source, t.Name())
+			}
+		}
+	})
+	return s
+}

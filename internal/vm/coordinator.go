@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	fuzzrand "repro/internal/fuzzgen/rand"
 	"repro/internal/heap"
 	"repro/internal/native"
 )
@@ -155,11 +156,12 @@ func (p *RoundRobinPolicy) Quantum() uint64 {
 // makes replicated lock acquisition (rather than luck) necessary for
 // convergence.
 type SeededPolicy struct {
-	state      uint64
+	rng        *fuzzrand.RNG
 	MinQ, MaxQ uint64
 }
 
-// NewSeededPolicy returns a policy seeded with seed.
+// NewSeededPolicy returns a policy seeded with seed. The XOR fold keeps the
+// decision sequence byte-identical to the historical inlined SplitMix64.
 func NewSeededPolicy(seed int64, minQ, maxQ uint64) *SeededPolicy {
 	if minQ == 0 {
 		minQ = 512
@@ -167,26 +169,18 @@ func NewSeededPolicy(seed int64, minQ, maxQ uint64) *SeededPolicy {
 	if maxQ < minQ {
 		maxQ = minQ * 4
 	}
-	return &SeededPolicy{state: uint64(seed) ^ 0x9e3779b97f4a7c15, MinQ: minQ, MaxQ: maxQ}
-}
-
-func (p *SeededPolicy) next() uint64 {
-	p.state += 0x9e3779b97f4a7c15
-	z := p.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return &SeededPolicy{rng: fuzzrand.New(uint64(seed) ^ 0x9e3779b97f4a7c15), MinQ: minQ, MaxQ: maxQ}
 }
 
 // Next implements SchedPolicy.
 func (p *SeededPolicy) Next(runnable []*Thread, cur *Thread) *Thread {
-	return runnable[p.next()%uint64(len(runnable))]
+	return runnable[p.rng.Next()%uint64(len(runnable))]
 }
 
 // Quantum implements SchedPolicy.
 func (p *SeededPolicy) Quantum() uint64 {
 	span := p.MaxQ - p.MinQ + 1
-	return p.MinQ + p.next()%span
+	return p.MinQ + p.rng.Next()%span
 }
 
 // DefaultCoordinator runs the VM standalone (no replication): scheduling
