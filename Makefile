@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz-smoke
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet build test race fuzz-smoke
+check: vet build test race bench-smoke fuzz-smoke
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all
+
+# One iteration of every Go benchmark: catches benchmarks that no longer
+# compile or crash without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -11,6 +11,7 @@
 //	ftvm-bench -scale 2 -repeats 3  # bigger workloads, more rounds
 //	ftvm-bench -no-network          # disable the simulated 100 Mbps link
 //	ftvm-bench -metrics -bench db   # raw replication metrics as JSON
+//	ftvm-bench -quick -metrics      # one fast round, metrics JSON (CI smoke)
 package main
 
 import (
@@ -39,6 +40,7 @@ func run() error {
 		fig4      = flag.Bool("fig4", false, "Figure 4: thread-scheduling overhead decomposition")
 		takeover  = flag.Bool("takeover", false, "extension: cold vs warm backup takeover latency")
 		metrics   = flag.Bool("metrics", false, "dump raw replication metrics as JSON")
+		quick     = flag.Bool("quick", false, "fast preset: one round, no simulated network")
 		benchList = flag.String("bench", "", "comma-separated benchmark subset (default all six)")
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		repeats   = flag.Int("repeats", 2, "measurement rounds (fastest kept; plus one warm-up)")
@@ -47,6 +49,10 @@ func run() error {
 		perKB     = flag.Duration("net-per-kb", 450*time.Microsecond, "simulated per-KB cost")
 	)
 	flag.Parse()
+	if *quick {
+		*repeats = 1
+		*noNet = true
+	}
 	if !*table2 && !*fig2 && !*fig3 && !*fig4 && !*takeover && !*metrics {
 		*all = true
 	}

@@ -138,14 +138,25 @@ func (c *SeqChannel) Len() int {
 // step, so repeated reads observe strictly increasing, non-reproducible
 // values — the canonical non-deterministic input native (§3.2).
 type Clock struct {
-	mu  sync.Mutex
-	now int64
-	rng *splitMix
+	mu   sync.Mutex
+	now  int64
+	seed int64
+	rng  *splitMix
 }
 
 // NewClock returns a clock starting at zero whose jitter derives from seed.
 func NewClock(seed int64) *Clock {
-	return &Clock{rng: newSplitMix(uint64(seed))}
+	return &Clock{seed: seed, rng: newSplitMix(uint64(seed))}
+}
+
+// Reset rewinds the clock to its initial (seed-derived) state. Used by
+// volatile-state recovery (§4.4) to re-position the device at the logged
+// prefix before a recovered execution continues reading it live.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+	c.rng = newSplitMix(uint64(c.seed))
 }
 
 // Now reads the clock, advancing it 1–16 virtual milliseconds.
@@ -159,13 +170,23 @@ func (c *Clock) Now() int64 {
 // Entropy is a seeded random source exposed to programs through the
 // non-deterministic `rand` native.
 type Entropy struct {
-	mu  sync.Mutex
-	rng *splitMix
+	mu   sync.Mutex
+	seed int64
+	rng  *splitMix
 }
 
 // NewEntropy returns an entropy source derived from seed.
 func NewEntropy(seed int64) *Entropy {
-	return &Entropy{rng: newSplitMix(uint64(seed))}
+	return &Entropy{seed: seed, rng: newSplitMix(uint64(seed))}
+}
+
+// Reset rewinds the source to its initial (seed-derived) state. Used by
+// volatile-state recovery (§4.4) to re-position the device at the logged
+// prefix before a recovered execution continues drawing from it live.
+func (e *Entropy) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rng = newSplitMix(uint64(e.seed))
 }
 
 // Next returns the next random 63-bit value.

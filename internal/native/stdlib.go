@@ -11,6 +11,7 @@ import (
 const (
 	HandlerFile    = "file"
 	HandlerChannel = "channel"
+	HandlerDevices = "devices"
 )
 
 // FDTranslator translates file descriptors that a program obtained from a
@@ -124,13 +125,13 @@ func StdLib() *Registry {
 
 	// Clock and entropy: pure non-deterministic inputs.
 	r.MustRegister(&Def{
-		Sig: "sys.clock", Arity: 0, Returns: 1, NonDeterministic: true,
+		Sig: "sys.clock", Arity: 0, Returns: 1, NonDeterministic: true, Handler: HandlerDevices,
 		Fn: func(ctx Ctx, _ []heap.Value) ([]heap.Value, error) {
 			return intResult(ctx.Environment().Clock().Now()), nil
 		},
 	})
 	r.MustRegister(&Def{
-		Sig: "sys.rand", Arity: 0, Returns: 1, NonDeterministic: true,
+		Sig: "sys.rand", Arity: 0, Returns: 1, NonDeterministic: true, Handler: HandlerDevices,
 		Fn: func(ctx Ctx, _ []heap.Value) ([]heap.Value, error) {
 			return intResult(ctx.Environment().Entropy().Next()), nil
 		},

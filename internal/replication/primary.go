@@ -64,6 +64,19 @@ type Primary struct {
 	buf      wire.Buffer
 	frameSeq uint64
 	sendMu   sync.Mutex
+	// frameBuf is the reusable frame-encode scratch (guarded by sendMu);
+	// every Endpoint.Send must have consumed the bytes before returning, so
+	// the next frame may overwrite them.
+	frameBuf []byte
+
+	// Scratch records for the per-event log appends. Coordinator callbacks
+	// run on the VM goroutine one at a time and Buffer.Append fully encodes
+	// the record before returning, so reusing one struct per type makes the
+	// steady-state record path allocation-free.
+	recSwitch   wire.Switch
+	recLock     wire.LockAcq
+	recIDMap    wire.IDMap
+	recInterval wire.LockInterval
 
 	hbStop  chan struct{}
 	hbDone  chan struct{}
@@ -192,7 +205,8 @@ func (p *Primary) sendFrame(payload []byte, ackWanted bool) (uint64, error) {
 	}
 	p.frameSeq++
 	seq := p.frameSeq
-	b := wire.EncodeFrame(&wire.Frame{Seq: seq, AckWanted: ackWanted, Payload: payload})
+	p.frameBuf = wire.AppendFrame(p.frameBuf[:0], &wire.Frame{Seq: seq, AckWanted: ackWanted, Payload: payload})
+	b := p.frameBuf
 	t0 := time.Now()
 	err := p.ep.Send(b)
 	p.metrics.addCommunication(time.Since(t0))
@@ -327,11 +341,11 @@ func (p *Primary) OnDescheduled(v *vm.VM, prev, next *vm.Thread) error {
 		mon = prev.Progress.MonCnt
 		chk = prev.Progress.Chk
 	}
-	rec := &wire.Switch{
+	p.recSwitch = wire.Switch{
 		TID: prev.VTID, BrCnt: br, MethodIdx: methodIdx, PCOff: pcOff,
 		MonCnt: mon, LASN: lasn, Reason: uint8(prev.State()), Chk: chk, NextTID: next.VTID,
 	}
-	err := p.appendTimed(rec, true)
+	err := p.appendTimed(&p.recSwitch, true)
 	p.metrics.switchRecords.Add(1)
 	return p.squelch(err)
 }
@@ -349,7 +363,8 @@ func (p *Primary) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bool,
 	if p.mode != ModeLock {
 		return lid, true, nil
 	}
-	err := p.appendTimed(&wire.IDMap{LID: lid, TID: t.VTID, TASN: t.TASN}, true)
+	p.recIDMap = wire.IDMap{LID: lid, TID: t.VTID, TASN: t.TASN}
+	err := p.appendTimed(&p.recIDMap, true)
 	p.metrics.idMapRecords.Add(1)
 	return lid, true, p.squelch(err)
 }
@@ -360,7 +375,8 @@ func (p *Primary) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bool,
 func (p *Primary) OnAcquired(_ *vm.VM, t *vm.Thread, m *vm.Monitor) error {
 	switch p.mode {
 	case ModeLock:
-		err := p.appendTimed(&wire.LockAcq{TID: t.VTID, TASN: t.TASN, LID: m.LID, LASN: m.LASN}, true)
+		p.recLock = wire.LockAcq{TID: t.VTID, TASN: t.TASN, LID: m.LID, LASN: m.LASN}
+		err := p.appendTimed(&p.recLock, true)
 		p.metrics.lockRecords.Add(1)
 		return p.squelch(err)
 	case ModeLockInterval:
@@ -389,10 +405,10 @@ func (p *Primary) closeInterval() error {
 	if p.intCount == 0 {
 		return nil
 	}
-	rec := &wire.LockInterval{TID: p.intTID, StartTASN: p.intStart, Count: p.intCount}
+	p.recInterval = wire.LockInterval{TID: p.intTID, StartTASN: p.intStart, Count: p.intCount}
 	p.intCount = 0
 	p.metrics.lockRecords.Add(1)
-	return p.append(rec)
+	return p.append(&p.recInterval)
 }
 
 // NativeReady implements vm.Coordinator (the primary never waits).

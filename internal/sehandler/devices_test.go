@@ -1,0 +1,73 @@
+package sehandler
+
+import (
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/heap"
+)
+
+// TestDevicesRestoreRepositionsStreams is the regression for the recovery
+// divergence the kill-point sweep exposed: the primary dies having drawn
+// entropy/clock values whose result records never reached the backup, so the
+// recovered execution must NOT continue the streams from wherever the dead
+// primary left them — it must continue from the end of the logged prefix.
+func TestDevicesRestoreRepositionsStreams(t *testing.T) {
+	e := env.New(1234)
+	ctx := Ctx{Heap: heap.New(), Env: e, Proc: e.Attach()}
+	h := NewDevicesHandler()
+
+	// Reference: the values a failure-free run would observe.
+	var wantRand [8]int64
+	var wantClock [4]int64
+	for i := range wantRand {
+		wantRand[i] = e.Entropy().Next()
+	}
+	for i := range wantClock {
+		wantClock[i] = e.Clock().Now()
+	}
+
+	// "Primary" consumed 8 rand draws and 4 clock reads, but only 5 and 2
+	// result records made it into the log before the crash.
+	for i := 0; i < 5; i++ {
+		if err := h.Receive([]byte{devRand}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := h.Receive([]byte{devClock}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Restore(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-restore live draws must continue exactly after the logged prefix.
+	for i := 5; i < 8; i++ {
+		if got := e.Entropy().Next(); got != wantRand[i] {
+			t.Fatalf("rand draw %d after restore = %d, want %d", i, got, wantRand[i])
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if got := e.Clock().Now(); got != wantClock[i] {
+			t.Fatalf("clock read %d after restore = %d, want %d", i, got, wantClock[i])
+		}
+	}
+}
+
+func TestDevicesLogMarkers(t *testing.T) {
+	h := NewDevicesHandler()
+	ctx := Ctx{}
+	data, err := h.Log(ctx, def(t, "sys.rand"), nil, nil)
+	if err != nil || len(data) != 1 || data[0] != devRand {
+		t.Fatalf("sys.rand marker = %q, %v", data, err)
+	}
+	data, err = h.Log(ctx, def(t, "sys.clock"), nil, nil)
+	if err != nil || len(data) != 1 || data[0] != devClock {
+		t.Fatalf("sys.clock marker = %q, %v", data, err)
+	}
+	if err := h.Receive([]byte{'x'}); err == nil {
+		t.Fatal("unknown marker accepted")
+	}
+}

@@ -85,7 +85,7 @@ func NewSet(handlers ...Handler) (*Set, error) {
 // the paper's handlers for the standard JRE libraries are; applications
 // register additional handlers alongside (same mechanism).
 func DefaultSet() *Set {
-	s, err := NewSet(NewFileHandler(), NewChannelHandler())
+	s, err := NewSet(NewFileHandler(), NewChannelHandler(), NewDevicesHandler())
 	if err != nil {
 		panic(err) // unreachable: static names differ
 	}

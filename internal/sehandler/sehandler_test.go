@@ -40,7 +40,7 @@ func TestDefaultSetRegisters(t *testing.T) {
 		t.Fatal(err)
 	}
 	names := s.Names()
-	if len(names) != 2 {
+	if len(names) != 3 {
 		t.Fatalf("names = %v", names)
 	}
 	if h := s.ForDef(def(t, "fs.open")); h == nil || h.Name() != native.HandlerFile {
@@ -49,8 +49,11 @@ func TestDefaultSetRegisters(t *testing.T) {
 	if h := s.ForDef(def(t, "chan.send")); h == nil || h.Name() != native.HandlerChannel {
 		t.Fatal("chan.send not routed to channel handler")
 	}
-	if h := s.ForDef(def(t, "sys.clock")); h != nil {
-		t.Fatal("sys.clock should have no handler")
+	if h := s.ForDef(def(t, "sys.clock")); h == nil || h.Name() != native.HandlerDevices {
+		t.Fatal("sys.clock not routed to devices handler")
+	}
+	if h := s.ForDef(def(t, "sys.rand")); h == nil || h.Name() != native.HandlerDevices {
+		t.Fatal("sys.rand not routed to devices handler")
 	}
 }
 

@@ -26,7 +26,9 @@ var (
 // Endpoint is one end of a duplex message channel.
 type Endpoint interface {
 	// Send transmits one message (never blocks indefinitely on a live
-	// peer; returns ErrClosed after Close of either end).
+	// peer; returns ErrClosed after Close of either end). Send must not
+	// retain msg after it returns: callers reuse the backing array for the
+	// next frame.
 	Send(msg []byte) error
 	// Recv blocks for the next message. timeout <= 0 means no timeout.
 	// Returns ErrClosed when the peer closed, ErrTimeout on expiry.

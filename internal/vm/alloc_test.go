@@ -1,0 +1,61 @@
+package vm
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/env"
+)
+
+// mallocsDuring returns the number of Go heap allocations performed by f.
+func mallocsDuring(f func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestSConstAllocFree pins the decode-once property that pushing a string
+// constant is allocation-free: the pool is interned into the VM heap once at
+// load time, so a loop that executes sconst 100k times must allocate a
+// bounded (setup-only) amount, not one string object per push.
+func TestSConstAllocFree(t *testing.T) {
+	src := `
+method main 0 void
+  iconst 0
+  store 0
+loop:
+  load 0
+  iconst 100000
+  icmp
+  jz done
+  sconst "the quick brown fox jumps over the lazy dog"
+  pop
+  load 0
+  iconst 1
+  iadd
+  store 0
+  jmp loop
+done:
+  ret
+end
+`
+	p := buildProgram(t, src)
+	e := env.New(1)
+	v, err := New(Config{Program: p, Env: e, MaxInstructions: 50_000_000})
+	if err != nil {
+		t.Fatalf("new vm: %v", err)
+	}
+	n := mallocsDuring(func() {
+		if err := v.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	// 100k sconst executions: the pre-interning interpreter allocated ≥100k
+	// string objects here. Allow generous slack for scheduler/runtime noise.
+	if n > 10_000 {
+		t.Errorf("sconst loop performed %d allocations, want bounded setup-only (<10000)", n)
+	}
+}

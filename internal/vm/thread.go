@@ -141,13 +141,36 @@ func (t *Thread) Depth() int { return len(t.frames) }
 // BlockedOn returns the monitor the thread is blocked/waiting/gated on.
 func (t *Thread) BlockedOn() *Monitor { return t.blockedOn }
 
+// pushFrame activates m with args as its leading locals. Popped frame slots
+// keep their Locals/Stack arrays so a call following a return reuses them
+// instead of allocating; args may alias the caller's operand stack — it is
+// fully copied before this returns. The GC only scans live frames, so the
+// retained arrays never keep garbage alive past the next push.
 func (t *Thread) pushFrame(m *bytecode.Method, method int32, args []heap.Value) {
-	locals := make([]heap.Value, m.NLocals)
-	copy(locals, args)
-	for i := len(args); i < m.NLocals; i++ {
-		locals[i] = heap.Null()
+	n := len(t.frames)
+	if n < cap(t.frames) {
+		t.frames = t.frames[:n+1]
+	} else {
+		t.frames = append(t.frames, Frame{})
 	}
-	t.frames = append(t.frames, Frame{Method: method, Locals: locals, Stack: make([]heap.Value, 0, 8)})
+	f := &t.frames[n]
+	f.Method = method
+	f.PC = 0
+	f.finalizer = false
+	if cap(f.Locals) >= m.NLocals {
+		f.Locals = f.Locals[:m.NLocals]
+	} else {
+		f.Locals = make([]heap.Value, m.NLocals)
+	}
+	filled := copy(f.Locals, args)
+	for i := filled; i < m.NLocals; i++ {
+		f.Locals[i] = heap.Null()
+	}
+	if f.Stack == nil {
+		f.Stack = make([]heap.Value, 0, 8)
+	} else {
+		f.Stack = f.Stack[:0]
+	}
 }
 
 func (t *Thread) popFrame() Frame {

@@ -3,6 +3,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/bytecode"
@@ -97,7 +98,14 @@ type VM struct {
 
 	handlerState map[string]any
 
-	isBranch [256]bool
+	// rcode is the decode-once form of prog: per-method resolved code,
+	// index-aligned with prog.Methods (nil for natives). rfused is the same
+	// code with superinstruction fusion applied, used by slices that need no
+	// per-bytecode observation. interned holds the pre-allocated heap string
+	// for every StrPool entry, so executing sconst never allocates.
+	rcode    [][]bytecode.RInstr
+	rfused   [][]bytecode.RInstr
+	interned []heap.Ref
 
 	cur           *Thread
 	halted        bool
@@ -158,23 +166,24 @@ func New(cfg Config) (*VM, error) {
 	for i := range v.statics {
 		v.statics[i] = heap.Null()
 	}
-	for op, info := range opTableView() {
-		v.isBranch[op] = info
+	res, err := bytecode.Predecode(prog)
+	if err != nil {
+		return nil, err
+	}
+	v.rcode = res.Methods
+	v.rfused = res.Fused
+	// Pre-intern the string pool: one allocation per program string at load
+	// time, zero per sconst execution. The interned objects are permanent GC
+	// roots (see runGC).
+	v.interned = make([]heap.Ref, len(prog.StrPool))
+	for i, s := range prog.StrPool {
+		ref, err := v.hp.AllocString(s)
+		if err != nil {
+			return nil, err
+		}
+		v.interned[i] = ref
 	}
 	return v, nil
-}
-
-// opTableView exposes the branch property per opcode without exporting the
-// bytecode package's internal table.
-func opTableView() map[bytecode.Opcode]bool {
-	out := make(map[bytecode.Opcode]bool, 64)
-	for op := bytecode.Opcode(1); op < 128; op++ {
-		if op.String() == "op?" {
-			continue
-		}
-		out[op] = op.IsBranch()
-	}
-	return out
 }
 
 // augment clones p and appends the synthetic methods.
@@ -403,76 +412,17 @@ func (vm *VM) loop() error {
 }
 
 func (vm *VM) deadlockError() error {
-	detail := ""
+	var detail strings.Builder
 	for _, t := range vm.threads {
 		if t.state != StateDead {
-			detail += fmt.Sprintf(" [%s %s", t.VTID, t.state)
+			fmt.Fprintf(&detail, " [%s %s", t.VTID, t.state)
 			if t.blockedOn != nil {
-				detail += fmt.Sprintf(" on lid=%d @%d", t.blockedOn.LID, t.blockedOn.Ref)
+				fmt.Fprintf(&detail, " on lid=%d @%d", t.blockedOn.LID, t.blockedOn.Ref)
 			}
-			detail += "]"
+			detail.WriteByte(']')
 		}
 	}
-	return fmt.Errorf("%w:%s", ErrDeadlock, detail)
-}
-
-// runSlice interprets t until preemption, blocking, death or halt. With an
-// exact target (replay), the slice stops only when the thread reaches the
-// recorded (br_cnt, method, pc) position; reaching the branch count at a
-// different position keeps executing the (branch-free, hence br_cnt-stable)
-// tail until the position matches.
-func (vm *VM) runSlice(t *Thread, target SliceTarget) error {
-	for {
-		if vm.halted || t.state != StateRunnable || vm.killed.Load() {
-			return nil
-		}
-		if target.Exact && target.StopRunnable && t.BrCnt == target.Br {
-			if f := t.Top(); f != nil && f.Method == target.Method && f.PC == target.PC {
-				return nil
-			}
-		}
-		if vm.hp.NeedsGC() {
-			if err := vm.runGC(t); err != nil {
-				return vm.fatal(t, err)
-			}
-		}
-		if err := vm.step(t); err != nil {
-			return vm.fatal(t, err)
-		}
-		if vm.trackProgress {
-			// Publish the progress indicators into the thread object after
-			// every bytecode (§4.2) — the scheduling records read them —
-			// and fold the position into the control-path checksum.
-			if f := t.Top(); f != nil {
-				t.Progress.Method = f.Method
-				t.Progress.PC = f.PC
-			} else {
-				t.Progress.Method = -1
-				t.Progress.PC = -1
-			}
-			t.Progress.BrCnt = t.BrCnt
-			t.Progress.MonCnt = t.MonCnt
-			t.Progress.Chk = t.Progress.Chk*1099511628211 ^
-				(uint64(uint32(t.Progress.Method))<<32 | uint64(uint32(t.Progress.PC)))
-		}
-		vm.stats.Instructions++
-		if vm.instrCap > 0 && vm.stats.Instructions > vm.instrCap {
-			return vm.fatal(t, ErrInstrBudget)
-		}
-		if target.Exact {
-			if t.BrCnt > target.Br {
-				// Ran past the recorded switch point: let the coordinator
-				// diagnose the divergence at the next dispatch.
-				return nil
-			}
-		} else if t.BrCnt >= target.Br {
-			return nil
-		}
-		if t.yielded {
-			t.yielded = false
-			return nil
-		}
-	}
+	return fmt.Errorf("%w:%s", ErrDeadlock, detail.String())
 }
 
 func (vm *VM) fatal(t *Thread, err error) error {
@@ -491,6 +441,9 @@ func (vm *VM) RunGC(t *Thread) error { return vm.runGC(t) }
 func (vm *VM) runGC(t *Thread) error {
 	vm.stats.GCs++
 	vm.hp.GC(func(mark func(heap.Ref)) {
+		for _, r := range vm.interned {
+			mark(r)
+		}
 		for _, s := range vm.statics {
 			if s.Kind == heap.KindRef {
 				mark(s.R)

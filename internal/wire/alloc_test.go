@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"testing"
+)
+
+// The log record path runs once per monitor acquisition / thread switch on
+// the primary's critical path; these tests pin its allocation behaviour so a
+// refactor cannot silently reintroduce per-record garbage.
+
+func TestBufferAppendAllocFree(t *testing.T) {
+	var buf Buffer
+	recs := []Record{
+		&LockAcq{TID: "0.1", TASN: 42, LID: 7, LASN: 99},
+		&IDMap{LID: 7, TID: "0.1", TASN: 42},
+		&Switch{TID: "0.1", BrCnt: 1000, MethodIdx: 3, PCOff: 17, MonCnt: 12, LASN: 5, Reason: 1, Chk: 0xdeadbeef, NextTID: "0.2"},
+		&LockInterval{TID: "0.1", StartTASN: 10, Count: 64},
+		&Heartbeat{Seq: 9},
+	}
+	// Warm up: let the byte slice reach steady-state capacity.
+	for i := 0; i < 64; i++ {
+		for _, r := range recs {
+			if err := buf.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf.Reset()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf.Reset()
+		for _, r := range recs {
+			if err := buf.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Buffer.Append steady-state allocs/run = %v, want 0", allocs)
+	}
+}
+
+func TestAppendFrameAllocFree(t *testing.T) {
+	payload := make([]byte, 4096)
+	dst := make([]byte, 0, len(payload)+64)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendFrame(dst[:0], &Frame{Seq: 12345, AckWanted: true, Payload: payload})
+	})
+	if allocs != 0 {
+		t.Errorf("AppendFrame with capacity allocs/run = %v, want 0", allocs)
+	}
+}
+
+func TestEncodeFrameSingleAlloc(t *testing.T) {
+	payload := make([]byte, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = EncodeFrame(&Frame{Seq: 12345, AckWanted: true, Payload: payload})
+	})
+	if allocs > 1 {
+		t.Errorf("EncodeFrame allocs/run = %v, want <= 1", allocs)
+	}
+}

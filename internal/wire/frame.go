@@ -14,8 +14,10 @@ type Frame struct {
 	Payload   []byte
 }
 
-// EncodeFrame serialises f.
-func EncodeFrame(f *Frame) []byte {
+// AppendFrame serialises f onto dst and returns the extended slice. Callers
+// that ship many frames reuse dst across calls (append-style, like
+// strconv.AppendInt) so the steady-state frame path performs no allocation.
+func AppendFrame(dst []byte, f *Frame) []byte {
 	var hdr [2*binary.MaxVarintLen64 + 1]byte
 	n := binary.PutUvarint(hdr[:], f.Seq)
 	if f.AckWanted {
@@ -25,10 +27,14 @@ func EncodeFrame(f *Frame) []byte {
 	}
 	n++
 	n += binary.PutUvarint(hdr[n:], uint64(len(f.Payload)))
-	out := make([]byte, 0, n+len(f.Payload))
-	out = append(out, hdr[:n]...)
-	out = append(out, f.Payload...)
-	return out
+	dst = append(dst, hdr[:n]...)
+	return append(dst, f.Payload...)
+}
+
+// EncodeFrame serialises f into a fresh slice.
+func EncodeFrame(f *Frame) []byte {
+	out := make([]byte, 0, len(f.Payload)+2*binary.MaxVarintLen64+1)
+	return AppendFrame(out, f)
 }
 
 // DecodeFrame parses a frame produced by EncodeFrame.
