@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz-smoke
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke replay-seeds
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,24 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/replication/... ./internal/transport/...
+	$(GO) test -race ./internal/replication/... ./internal/transport/... ./internal/simtest/...
+
+# Clock-injection rule (DESIGN.md): no naked time.Now/time.Sleep/... in
+# library code — time comes from an injected clock.Clock, or clock.Real.*
+# as an explicit wall-time opt-in.
+clock-lint:
+	./scripts/clocklint.sh
+
+# Deterministic simulation smoke: a seeded sweep of kill points × channel
+# faults across modes and network schedules, fully virtual-time, well under
+# 30s of wall clock. Any failure prints a single -replay string.
+sim-smoke:
+	$(GO) run ./cmd/ftvm-sim -progs 4 -nets 2
+
+# Replay the regression table of historical failure classes (PR 1-3 bugs)
+# under the deterministic harness. See internal/simtest/replayseeds_test.go.
+replay-seeds:
+	$(GO) test -run TestReplaySeeds -v ./internal/simtest
 
 # Bounded fuzzing pass: the differential smoke quota (a few hundred generated
 # programs cross-checked standalone/replicated/failover) plus a short burst of
@@ -27,7 +44,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet build test race bench-smoke fuzz-smoke
+check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all

@@ -1,0 +1,121 @@
+// Command ftvm-sim drives the deterministic simulation harness
+// (internal/simtest): a complete primary/backup pair runs in one process on a
+// virtual clock over a seeded simulated network, so hundreds of kill-point ×
+// fault-schedule × seed combinations execute in seconds of wall time and
+// every outcome — message timing included — is a pure function of the combo.
+//
+// Usage:
+//
+//	ftvm-sim                            # default sweep (>200 combos)
+//	ftvm-sim -progs 8 -start 100 -nets 4 -v     # wider sweep
+//	ftvm-sim -kills 1,2,3,5,8,13,21     # denser kill positions
+//	ftvm-sim -trace sweep.txt           # write the deterministic trace
+//	ftvm-sim -replay "prog=7,size=small,mode=sched,kill=12,deliver=1,fault=none@0,net=3,reorder=1/8"
+//
+// On any divergence the sweep prints the failing combo's trace line and the
+// single -replay string that reproduces it; exit status is non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/simtest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftvm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		replay   = flag.String("replay", "", "replay one combo from its key string and exit")
+		progs    = flag.Int("progs", 4, "number of generated-program seeds to sweep")
+		start    = flag.Uint64("start", 1, "first program seed")
+		sizeName = flag.String("size", "small", "program size tier: small, medium, large")
+		kills    = flag.String("kills", "", "comma-separated kill positions in frame sends (default 1,3,8,20)")
+		nets     = flag.Int("nets", 2, "number of network seeds per schedule")
+		tracePth = flag.String("trace", "", "write the full deterministic trace to this file")
+		verbose  = flag.Bool("v", false, "print every combo's trace line")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		return runReplay(*replay)
+	}
+
+	size, err := fuzzgen.SizeByName(*sizeName)
+	if err != nil {
+		return err
+	}
+	cfg := simtest.SweepConfig{Size: size}
+	for i := 0; i < *progs; i++ {
+		cfg.ProgSeeds = append(cfg.ProgSeeds, *start+uint64(i))
+	}
+	for i := 0; i < *nets; i++ {
+		cfg.NetSeeds = append(cfg.NetSeeds, int64(i+1))
+	}
+	if *kills != "" {
+		for _, f := range strings.Split(*kills, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad -kills entry %q: %w", f, err)
+			}
+			cfg.KillSends = append(cfg.KillSends, n)
+		}
+	}
+
+	var logf func(string)
+	if *verbose {
+		logf = func(line string) { fmt.Println(line) }
+	}
+	res := simtest.RunSweep(cfg, logf)
+
+	if *tracePth != "" {
+		data := strings.Join(res.Trace, "\n") + "\n"
+		if err := os.WriteFile(*tracePth, []byte(data), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("swept %d combos (%d program seeds, %d net seeds, size %s) in %v wall: %d failures\n",
+		res.Combos, *progs, *nets, size, res.Elapsed.Round(time.Millisecond), len(res.Failures))
+	for _, f := range res.Failures {
+		fmt.Printf("FAIL %s\n  replay: %s\n", f.TraceLine(), f.ReplayCommand())
+	}
+	if n := len(res.Failures); n > 0 {
+		return fmt.Errorf("%d of %d combos diverged", n, res.Combos)
+	}
+	return nil
+}
+
+func runReplay(key string) error {
+	cb, err := simtest.ParseCombo(key)
+	if err != nil {
+		return err
+	}
+	out := simtest.RunCombo(cb, nil, nil)
+	fmt.Println(out.TraceLine())
+	if out.Err != nil {
+		return out.Err
+	}
+	if out.Detail != "" {
+		fmt.Println("reference console:")
+		for _, ln := range out.Ref {
+			fmt.Printf("  %s\n", ln)
+		}
+		fmt.Println("simulated console:")
+		for _, ln := range out.Console {
+			fmt.Printf("  %s\n", ln)
+		}
+		return fmt.Errorf("divergence: %s", out.Detail)
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/native"
 	"repro/internal/replication"
 	"repro/internal/sehandler"
+	"repro/internal/simtest/clock"
 	"repro/internal/transport"
 	"repro/internal/vm"
 )
@@ -117,6 +118,13 @@ type Options struct {
 	// Ethernet) on a single host. Zero means a raw in-process pipe.
 	NetPerMsg time.Duration
 	NetPerKB  time.Duration
+	// Clock supplies time for ack deadlines, heartbeats, kill-trigger
+	// polling, and elapsed measurements (nil = wall clock). The
+	// deterministic simulation harness (internal/simtest) injects a virtual
+	// clock; callers doing so must invoke the run functions from a
+	// clock-attached goroutine and supply a clock-driven transport via Env
+	// and endpoint wiring of their own.
+	Clock clock.Clock
 }
 
 func (o *Options) fill() {
@@ -137,13 +145,15 @@ func (o *Options) fill() {
 	}
 }
 
+func (o *Options) clock() clock.Clock { return clock.Or(o.Clock) }
+
 // newPipe builds the primary/backup endpoints, wrapping the primary side
 // with the simulated network cost when configured.
 func (o *Options) newPipe() (transport.Endpoint, transport.Endpoint) {
 	pEnd, bEnd := transport.Pipe(o.PipeCapacity)
 	if o.NetPerMsg > 0 || o.NetPerKB > 0 {
-		return transport.WithLatency(pEnd, o.NetPerMsg, o.NetPerKB),
-			transport.WithLatency(bEnd, o.NetPerMsg, o.NetPerKB)
+		return transport.WithLatencyClock(pEnd, o.NetPerMsg, o.NetPerKB, o.Clock),
+			transport.WithLatencyClock(bEnd, o.NetPerMsg, o.NetPerKB, o.Clock)
 	}
 	return pEnd, bEnd
 }
@@ -178,9 +188,10 @@ func Run(prog *Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	clk := opts.clock()
+	t0 := clk.Now()
 	runErr := machine.Run()
-	elapsed := time.Since(t0)
+	elapsed := clk.Since(t0)
 	res := &Result{
 		Stats:   machine.Stats(),
 		Console: environ.Console().Lines(),
@@ -235,6 +246,7 @@ func RunWithFailover(prog *Program, mode Mode, trigger KillTrigger, opts Options
 
 func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) (*ReplicatedResult, error) {
 	opts.fill()
+	clk := opts.clock()
 	environ := opts.environment()
 	pEnd, bEnd := opts.newPipe()
 
@@ -246,6 +258,7 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 		HeartbeatEvery:      opts.Heartbeat,
 		AckTimeout:          opts.AckTimeout,
 		DegradeOnBackupLoss: opts.DegradeOnBackupLoss,
+		Clock:               opts.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -261,45 +274,43 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 	if err != nil {
 		return nil, err
 	}
-	backup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd})
+	backup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd, Clock: opts.Clock})
 	if err != nil {
 		return nil, err
 	}
 
-	serveDone := make(chan struct{})
+	// Helper goroutines are spawned through the clock and joined via clock
+	// Flags so the whole structure also works under an injected virtual
+	// clock (bare channel joins would stall simulated time).
+	serveDone := clock.NewFlag(clk)
 	var outcome replication.ServeOutcome
 	var serveErr error
-	go func() {
-		defer close(serveDone)
+	clk.Go(func() {
+		defer serveDone.Set()
 		outcome, serveErr = backup.Serve()
-	}()
+	})
 
-	killDone := make(chan struct{})
+	killDone := clock.NewFlag(clk)
 	if trigger != nil {
-		go func() {
-			defer close(killDone)
-			for {
-				select {
-				case <-serveDone:
-					return
-				default:
-				}
+		clk.Go(func() {
+			defer killDone.Set()
+			for !serveDone.IsSet() {
 				if trigger(backup.Store().Len()) {
 					machine.Kill()
 					return
 				}
-				time.Sleep(50 * time.Microsecond)
+				clk.Sleep(50 * time.Microsecond)
 			}
-		}()
+		})
 	} else {
-		close(killDone)
+		killDone.Set()
 	}
 
-	t0 := time.Now()
+	t0 := clk.Now()
 	runErr := machine.Run()
-	elapsed := time.Since(t0)
-	<-serveDone
-	<-killDone
+	elapsed := clk.Since(t0)
+	serveDone.Wait()
+	killDone.Wait()
 
 	res := &ReplicatedResult{
 		Stats:   machine.Stats(),
@@ -337,7 +348,7 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 	if !outcome.Failed() {
 		return res, fmt.Errorf("primary killed but backup observed %v", outcome)
 	}
-	r0 := time.Now()
+	r0 := clk.Now()
 	_, report, err := backup.Recover(replication.RecoverConfig{
 		Program:         prog,
 		Env:             environ,
@@ -345,7 +356,7 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
 	})
-	res.RecoveryElapsed = time.Since(r0)
+	res.RecoveryElapsed = clk.Since(r0)
 	res.Recovery = report
 	res.Console = environ.Console().Lines()
 	if err != nil {
@@ -370,6 +381,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		return nil, nil, errors.New("ftvm: nil environment factory")
 	}
 	opts.fill()
+	clk := opts.clock()
 	opts.Env = envFactory()
 	pEnd, bEnd := opts.newPipe()
 	primary, err := replication.NewPrimary(replication.PrimaryConfig{
@@ -378,6 +390,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		Policy:     vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
 		FlushEvery: opts.FlushEvery,
 		AckTimeout: opts.AckTimeout,
+		Clock:      opts.Clock,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -393,21 +406,21 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 	if err != nil {
 		return nil, nil, err
 	}
-	backup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd})
+	backup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd, Clock: opts.Clock})
 	if err != nil {
 		return nil, nil, err
 	}
-	serveDone := make(chan struct{})
+	serveDone := clock.NewFlag(clk)
 	var outcome replication.ServeOutcome
 	var serveErr error
-	go func() {
-		defer close(serveDone)
+	clk.Go(func() {
+		defer serveDone.Set()
 		outcome, serveErr = backup.Serve()
-	}()
-	t0 := time.Now()
+	})
+	t0 := clk.Now()
 	runErr := machine.Run()
-	elapsed := time.Since(t0)
-	<-serveDone
+	elapsed := clk.Since(t0)
+	serveDone.Wait()
 	res := &ReplicatedResult{
 		Stats:   machine.Stats(),
 		Console: opts.Env.Console().Lines(),
@@ -434,7 +447,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 	if err := replayBackup.LoadRecords(backup.Store().Records()); err != nil {
 		return res, nil, err
 	}
-	r0 := time.Now()
+	r0 := clk.Now()
 	_, report, err := replayBackup.Recover(replication.RecoverConfig{
 		Program:         prog,
 		Env:             envFactory(),
@@ -442,7 +455,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
 	})
-	replay := &ReplayResult{Elapsed: time.Since(r0), Report: report}
+	replay := &ReplayResult{Elapsed: clk.Since(r0), Report: report}
 	if err != nil {
 		return res, replay, fmt.Errorf("replay: %w", err)
 	}

@@ -30,6 +30,7 @@ func WriteArtifact(dir string, f *Failure) (string, error) {
 		fmt.Fprintf(&hdr, "// detail: %s\n", f.Detail)
 	}
 	fmt.Fprintf(&hdr, "// re-run: go run ./cmd/ftvm-fuzz -seeds 1 -start %d -size %s -mode %s\n", f.Seed, f.Size, f.Stage)
+	fmt.Fprintf(&hdr, "// deterministic sim: go run ./cmd/ftvm-sim -replay %q\n", SimReplayKey(f))
 	mini := filepath.Join(dir, base+".mini")
 	if err := os.WriteFile(mini, []byte(hdr.String()+f.Source), 0o644); err != nil {
 		return "", err
@@ -57,6 +58,7 @@ func (c *Config) Report(p *Prog, f *Failure) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v\n", sf)
 	fmt.Fprintf(&b, "program shrunk to %d lines\n", strings.Count(sf.Source, "\n"))
+	fmt.Fprintf(&b, "deterministic sim: go run ./cmd/ftvm-sim -replay %q\n", SimReplayKey(sf))
 	if c.ArtifactDir != "" {
 		if mini, err := WriteArtifact(c.ArtifactDir, sf); err != nil {
 			fmt.Fprintf(&b, "artifact write failed: %v\n", err)

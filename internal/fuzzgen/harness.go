@@ -115,6 +115,26 @@ func (c *Config) derive(seed uint64) params {
 	}
 }
 
+// SimReplayKey renders the deterministic-simulation replay string for a
+// failure: the same generated program (seed and size) and the seed-derived
+// replication mode and fault schedule, replayed under internal/simtest's
+// virtual-clock single-process cluster (`ftvm-sim -replay`). The crash
+// position carries over by index — frame sends in the simulator versus
+// logged records in the live harness — so the schedule is analogous rather
+// than identical; the value is a fully deterministic reproduction vehicle
+// for the same program, mode, and fault family. The format is parsed by
+// simtest.ParseCombo (pinned by a round-trip test there).
+func SimReplayKey(f *Failure) string {
+	pr := (&Config{}).derive(f.Seed)
+	kill, fault, at := pr.killAt, "none", 0
+	if pr.useFault {
+		kill = 0
+		fault, at = pr.faultKind.String(), pr.faultAt
+	}
+	return fmt.Sprintf("prog=%d,size=%s,mode=%s,kill=%d,deliver=0,fault=%s@%d,net=1,reorder=1/8",
+		f.Seed, f.Size, pr.repMode, kill, fault, at)
+}
+
 // CheckSeed generates the program for seed and checks the given stages
 // (all three when stages is nil). A nil return means full agreement.
 func (c *Config) CheckSeed(seed uint64, stages []string) *Failure {
@@ -308,6 +328,14 @@ func (c *Config) runFaultyPair(prog *ftvm.Program, pr params) ([]string, error) 
 		return nil, fmt.Errorf("recover after %v: %w", outcome, err)
 	}
 	return environ.Console().Lines(), nil
+}
+
+// CompareFrames reports the first per-writer frame difference between two
+// consoles ("" and true when they agree). Exported for the deterministic
+// simulation sweep (internal/simtest), which checks simulated-cluster output
+// against the same reference streams the fuzz harness uses.
+func CompareFrames(ref, got []string) (detail string, ok bool) {
+	return compareFrames(ref, got)
 }
 
 // frames splits console lines into per-writer streams using the generated

@@ -13,6 +13,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/programs"
 	"repro/internal/replication"
+	"repro/internal/simtest/clock"
 	"repro/internal/vm"
 )
 
@@ -39,6 +40,10 @@ type Config struct {
 	// Repeats measures each configuration this many times and keeps the
 	// fastest (default 2; the first run pays allocator/cache warm-up).
 	Repeats int
+	// Clock is the time source for the runs and the takeover latency
+	// measurements. Nil means wall time; internal/simtest supplies a
+	// virtual clock for deterministic takeover tests.
+	Clock clock.Clock
 }
 
 func (c *Config) fill() {
@@ -70,6 +75,7 @@ func (c *Config) fill() {
 	if c.Repeats < 1 {
 		c.Repeats = 2
 	}
+	c.Clock = clock.Or(c.Clock)
 }
 
 // ModeResult holds one replication mode's measurements for a benchmark.

@@ -45,6 +45,7 @@ func MeasureTakeover(name string, killFraction float64, cfg Config) (*TakeoverRe
 			FlushEvery: 64, // fine batches so kill points are precise
 			NetPerMsg:  cfg.NetPerMsg,
 			NetPerKB:   cfg.NetPerKB,
+			Clock:      cfg.Clock,
 		}
 	}
 
@@ -80,13 +81,13 @@ func MeasureTakeover(name string, killFraction float64, cfg Config) (*TakeoverRe
 	// minus the primary's portion (the warm backup runs concurrently, so
 	// we time the residual tail directly).
 	for attempt := 0; ; attempt++ {
-		start := time.Now()
+		start := cfg.Clock.Now()
 		warm, err := ftvm.RunWarmReplicated(prog, ftvm.ModeLock, ftvm.KillAfterRecords(killAt), opts())
 		if err != nil {
 			return nil, fmt.Errorf("warm failover: %w", err)
 		}
 		if warm.Killed && warm.Warm != nil {
-			elapsedTotal := time.Since(start)
+			elapsedTotal := cfg.Clock.Since(start)
 			// The primary died at PrimaryElapsed; everything after is the
 			// warm backup finishing alone.
 			res.WarmTakeover = elapsedTotal - warm.PrimaryElapsed

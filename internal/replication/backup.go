@@ -9,6 +9,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/native"
 	"repro/internal/sehandler"
+	"repro/internal/simtest/clock"
 	"repro/internal/transport"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -71,6 +72,11 @@ type BackupConfig struct {
 	// FailureTimeout: receiving nothing for this long counts as a primary
 	// failure (0 = rely on transport closure only).
 	FailureTimeout time.Duration
+	// Clock supplies time for the warm backup's feed waits and serve
+	// goroutine (nil = wall clock). The cold backup needs no clock of its
+	// own — its only timed wait is the endpoint's Recv — but the simulation
+	// harness sets this so warm replicas are fully clock-visible.
+	Clock clock.Clock
 }
 
 // BackupStats counts serve-loop activity.

@@ -7,20 +7,31 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/simtest/clock"
+	"repro/internal/simtest/simnet"
 	"repro/internal/transport"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
 
+// These liveness tests run entirely on a virtual clock over the simulated
+// link: the AckTimeout wait, the backup's silence, and the failure-detection
+// deadline all play out in simulated time, so a 200ms detection window costs
+// microseconds of wall time, the schedule is a pure function of the simnet
+// seed, and there is not a single time.Sleep in the file. (They previously
+// drove real transport.Pipe endpoints with wall-clock timeouts; see DESIGN.md
+// §"Deterministic time" for which tests deliberately stay real-time.)
+
 // silentBackup acks the first ackUntil ack-wanted frames, then goes silent —
 // still draining frames (so the channel stays open and writable) but never
 // acknowledging again. It models a backup process that wedges rather than
-// crashing: only the primary's AckTimeout can detect it.
-func silentBackup(t *testing.T, ep transport.Endpoint, ackUntil int) *sync.WaitGroup {
+// crashing: only the primary's AckTimeout can detect it. The loop runs as a
+// clock actor so its receive waits are visible to the virtual scheduler.
+func silentBackup(t *testing.T, clk clock.Clock, ep transport.Endpoint, ackUntil int) *sync.WaitGroup {
 	t.Helper()
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() {
+	clk.Go(func() {
 		defer wg.Done()
 		acked := 0
 		for {
@@ -39,7 +50,7 @@ func silentBackup(t *testing.T, ep transport.Endpoint, ackUntil int) *sync.WaitG
 				}
 			}
 		}
-	}()
+	})
 	return &wg
 }
 
@@ -48,13 +59,17 @@ func silentBackup(t *testing.T, ep transport.Endpoint, ackUntil int) *sync.WaitG
 // (the pre-AckTimeout behaviour): within AckTimeout it declares the backup
 // lost, surfaces ErrBackupLost, and — critically for exactly-once — the
 // uncommitted output is never performed, while already-committed outputs
-// stay performed exactly once.
+// stay performed exactly once. On the virtual clock the detection latency is
+// asserted exactly: the run takes at least AckTimeout and at most AckTimeout
+// plus a little message latency, in simulated time.
 func TestBackupLostDuringOutputCommit(t *testing.T) {
 	prog := mustAssemble(t, faultProgram)
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(30 * time.Second)()
 	environ := env.New(1234)
-	pEnd, bEnd := transport.Pipe(4096)
+	pEnd, bEnd := simnet.Link(clk, simnet.Config{Seed: 99})
 	// Ack only the first output commit ("start"); the second commit hangs.
-	wg := silentBackup(t, bEnd, 1)
+	wg := silentBackup(t, clk, bEnd, 1)
 
 	const ackTimeout = 200 * time.Millisecond
 	primary, err := NewPrimary(PrimaryConfig{
@@ -63,6 +78,7 @@ func TestBackupLostDuringOutputCommit(t *testing.T) {
 		Policy:     vm.NewSeededPolicy(77, 64, 512),
 		FlushEvery: 4,
 		AckTimeout: ackTimeout,
+		Clock:      clk,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,16 +87,27 @@ func TestBackupLostDuringOutputCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	start := time.Now()
-	runErr := pvm.Run()
-	elapsed := time.Since(start)
+	var runErr error
+	var elapsed time.Duration
+	var done sync.WaitGroup
+	done.Add(1)
+	clk.Go(func() {
+		defer done.Done()
+		start := clk.Now()
+		runErr = pvm.Run()
+		elapsed = clk.Since(start)
+	})
+	done.Wait()
 	wg.Wait()
 
 	if !errors.Is(runErr, ErrBackupLost) {
 		t.Fatalf("run error = %v, want ErrBackupLost", runErr)
 	}
-	if elapsed > ackTimeout+2*time.Second {
-		t.Fatalf("primary took %v to notice the dead backup (AckTimeout %v)", elapsed, ackTimeout)
+	if elapsed < ackTimeout {
+		t.Fatalf("primary gave up after %v of virtual time, before AckTimeout %v", elapsed, ackTimeout)
+	}
+	if elapsed > ackTimeout+50*time.Millisecond {
+		t.Fatalf("primary took %v of virtual time to notice the dead backup (AckTimeout %v)", elapsed, ackTimeout)
 	}
 	if !primary.BackupLost() {
 		t.Fatal("BackupLost() = false after ack timeout")
@@ -102,7 +129,8 @@ func TestBackupLostDuringOutputCommit(t *testing.T) {
 // backup does not kill the run — the primary detects the loss, stops
 // replicating, and finishes unreplicated with the full reference output,
 // every line exactly once (the timed-out output is performed by the degraded
-// primary itself, not abandoned).
+// primary itself, not abandoned). Runs on the virtual clock: the 150ms
+// detection window costs no wall time.
 func TestDegradeOnBackupLoss(t *testing.T) {
 	prog := mustAssemble(t, faultProgram)
 
@@ -119,9 +147,11 @@ func TestDegradeOnBackupLoss(t *testing.T) {
 	}
 	want := canonicalize(refEnv.Console().Lines())
 
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(30 * time.Second)()
 	environ := env.New(1234)
-	pEnd, bEnd := transport.Pipe(4096)
-	wg := silentBackup(t, bEnd, 1)
+	pEnd, bEnd := simnet.Link(clk, simnet.Config{Seed: 7})
+	wg := silentBackup(t, clk, bEnd, 1)
 	primary, err := NewPrimary(PrimaryConfig{
 		Mode:                ModeLock,
 		Endpoint:            pEnd,
@@ -129,6 +159,7 @@ func TestDegradeOnBackupLoss(t *testing.T) {
 		FlushEvery:          4,
 		AckTimeout:          150 * time.Millisecond,
 		DegradeOnBackupLoss: true,
+		Clock:               clk,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,10 +168,18 @@ func TestDegradeOnBackupLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pvm.Run(); err != nil {
-		t.Fatalf("degraded run must complete, got %v", err)
-	}
+	var runErr error
+	var done sync.WaitGroup
+	done.Add(1)
+	clk.Go(func() {
+		defer done.Done()
+		runErr = pvm.Run()
+	})
+	done.Wait()
 	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("degraded run must complete, got %v", runErr)
+	}
 	if !primary.BackupLost() {
 		t.Fatal("backup loss was never detected")
 	}
@@ -154,6 +193,12 @@ func TestDegradeOnBackupLoss(t *testing.T) {
 // Metrics() (read from any goroutine): a monitor goroutine hammers Metrics()
 // while the VM runs with a fast heartbeat. Before the counters became
 // atomic, `go test -race` flagged this pairing.
+//
+// This test deliberately stays on the real clock and real pipe: its whole
+// point is to make genuinely concurrent wall-clock-timed goroutines collide
+// so the race detector can observe unsynchronized access. Under the virtual
+// clock, goroutines run one-at-a-time between parks, which would serialize
+// exactly the interleavings the test exists to provoke.
 func TestMetricsRaceUnderHeartbeat(t *testing.T) {
 	prog := mustAssemble(t, faultProgram)
 	environ := env.New(1234)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/native"
 	"repro/internal/sehandler"
+	"repro/internal/simtest/clock"
 	"repro/internal/transport"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -49,6 +50,10 @@ type PrimaryConfig struct {
 	// discarded and outputs proceed without commit. When false (default),
 	// the loss surfaces as ErrBackupLost and aborts the run.
 	DegradeOnBackupLoss bool
+	// Clock supplies time for ack deadlines, heartbeat pacing, and metrics
+	// buckets (nil = wall clock). The deterministic simulation harness
+	// injects a virtual clock here.
+	Clock clock.Clock
 }
 
 // Primary is the vm.Coordinator that turns a VM into the primary replica.
@@ -60,6 +65,7 @@ type Primary struct {
 	flushEvery int
 	ackTimeout time.Duration
 	degrade    bool
+	clk        clock.Clock
 
 	buf      wire.Buffer
 	frameSeq uint64
@@ -78,9 +84,13 @@ type Primary struct {
 	recIDMap    wire.IDMap
 	recInterval wire.LockInterval
 
-	hbStop  chan struct{}
-	hbDone  chan struct{}
-	hbEvery time.Duration
+	// Heartbeat loop control: the loop paces itself by parking on hbSlot
+	// with the heartbeat period as timeout (clock-visible, so it works under
+	// a virtual clock); stopHeartbeat sets hbStopped and signals the slot.
+	hbSlot    clock.WaitSlot
+	hbStopped atomic.Bool
+	hbDone    chan struct{}
+	hbEvery   time.Duration
 
 	lidCounter int64
 	metrics    primaryMetrics
@@ -126,11 +136,12 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 		ackTimeout: cfg.AckTimeout,
 		degrade:    cfg.DegradeOnBackupLoss,
 		hbEvery:    cfg.HeartbeatEvery,
+		clk:        clock.Or(cfg.Clock),
 	}
 	if p.hbEvery > 0 {
-		p.hbStop = make(chan struct{})
+		p.hbSlot = p.clk.NewWaitSlot()
 		p.hbDone = make(chan struct{})
-		go p.heartbeatLoop()
+		p.clk.Go(p.heartbeatLoop)
 	}
 	return p, nil
 }
@@ -148,28 +159,28 @@ func (p *Primary) Handlers() *sehandler.Set { return p.handlers }
 
 func (p *Primary) heartbeatLoop() {
 	defer close(p.hbDone)
-	ticker := time.NewTicker(p.hbEvery)
-	defer ticker.Stop()
 	var buf wire.Buffer
 	seq := uint64(0)
 	for {
-		select {
-		case <-p.hbStop:
+		timedOut := p.hbSlot.Park(p.hbEvery)
+		if p.hbStopped.Load() {
 			return
-		case <-ticker.C:
-			if p.backupLost.Load() {
-				return
-			}
-			seq++
-			buf.Reset()
-			if err := buf.Append(&wire.Heartbeat{Seq: seq}); err != nil {
-				return
-			}
-			if _, err := p.sendFrame(buf.Bytes(), false); err != nil {
-				return
-			}
-			p.metrics.heartbeatsSent.Add(1)
 		}
+		if !timedOut {
+			continue // woken for something other than the period: re-park
+		}
+		if p.backupLost.Load() {
+			return
+		}
+		seq++
+		buf.Reset()
+		if err := buf.Append(&wire.Heartbeat{Seq: seq}); err != nil {
+			return
+		}
+		if _, err := p.sendFrame(buf.Bytes(), false); err != nil {
+			return
+		}
+		p.metrics.heartbeatsSent.Add(1)
 	}
 }
 
@@ -207,9 +218,9 @@ func (p *Primary) sendFrame(payload []byte, ackWanted bool) (uint64, error) {
 	seq := p.frameSeq
 	p.frameBuf = wire.AppendFrame(p.frameBuf[:0], &wire.Frame{Seq: seq, AckWanted: ackWanted, Payload: payload})
 	b := p.frameBuf
-	t0 := time.Now()
+	t0 := p.clk.Now()
 	err := p.ep.Send(b)
-	p.metrics.addCommunication(time.Since(t0))
+	p.metrics.addCommunication(p.clk.Since(t0))
 	if err != nil {
 		// The channel to the backup is gone (closed or broken mid-write):
 		// that is a backup loss, not merely an I/O error.
@@ -242,9 +253,9 @@ func (p *Primary) flush(ack bool) error {
 		return nil
 	}
 	p.metrics.acksAwaited.Add(1)
-	t0 := time.Now()
+	t0 := p.clk.Now()
 	err = p.awaitAck(wantSeq)
-	p.metrics.addPessimism(time.Since(t0))
+	p.metrics.addPessimism(p.clk.Since(t0))
 	return err
 }
 
@@ -254,12 +265,12 @@ func (p *Primary) flush(ack bool) error {
 func (p *Primary) awaitAck(wantSeq uint64) error {
 	var deadline time.Time
 	if p.ackTimeout > 0 {
-		deadline = time.Now().Add(p.ackTimeout)
+		deadline = p.clk.Now().Add(p.ackTimeout)
 	}
 	for {
 		var timeout time.Duration
 		if p.ackTimeout > 0 {
-			timeout = time.Until(deadline)
+			timeout = deadline.Sub(p.clk.Now())
 			if timeout <= 0 {
 				p.metrics.ackTimeouts.Add(1)
 				p.markBackupLost()
@@ -303,10 +314,10 @@ func (p *Primary) appendTimed(r wire.Record, timed bool) error {
 		}
 		return fmt.Errorf("append %s: %w", r.Type(), ErrBackupLost)
 	}
-	t0 := time.Now()
+	t0 := p.clk.Now()
 	err := p.buf.Append(r)
 	if timed {
-		p.metrics.addRecord(time.Since(t0))
+		p.metrics.addRecord(p.clk.Since(t0))
 	}
 	if err != nil {
 		return err
@@ -380,8 +391,8 @@ func (p *Primary) OnAcquired(_ *vm.VM, t *vm.Thread, m *vm.Monitor) error {
 		p.metrics.lockRecords.Add(1)
 		return p.squelch(err)
 	case ModeLockInterval:
-		t0 := time.Now()
-		defer func() { p.metrics.addRecord(time.Since(t0)) }()
+		t0 := p.clk.Now()
+		defer func() { p.metrics.addRecord(p.clk.Since(t0)) }()
 		if p.intCount > 0 && p.intTID == t.VTID {
 			p.intCount++
 			return nil
@@ -502,13 +513,14 @@ func (p *Primary) OnHalt(v *vm.VM, runErr error) error {
 }
 
 func (p *Primary) stopHeartbeat() {
-	if p.hbStop == nil {
+	if p.hbSlot == nil {
 		return
 	}
-	select {
-	case <-p.hbStop:
-	default:
-		close(p.hbStop)
-		<-p.hbDone
+	if p.hbStopped.CompareAndSwap(false, true) {
+		p.hbSlot.Signal()
 	}
+	// The loop is already awake (signalled or mid-send) and needs no clock
+	// advance to finish, so this bare channel wait is safe under a virtual
+	// clock even though the waiter may itself be an actor.
+	<-p.hbDone
 }

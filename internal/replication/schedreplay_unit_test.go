@@ -7,6 +7,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/env"
 	"repro/internal/sehandler"
+	"repro/internal/simtest/clock"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
@@ -130,7 +131,7 @@ func TestAnalyzeCleanHalt(t *testing.T) {
 }
 
 func TestWarmFeedCounts(t *testing.T) {
-	f := newWarmFeed(sehandler.DefaultSet())
+	f := newWarmFeed(sehandler.DefaultSet(), clock.Real)
 	if f.Fed() != 0 {
 		t.Fatal("fresh feed non-empty")
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/native"
 	"repro/internal/sehandler"
+	"repro/internal/simtest/clock"
 	"repro/internal/transport"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -29,6 +30,7 @@ type WarmBackup struct {
 	handlers *sehandler.Set
 	natives  *native.Registry
 	timeout  time.Duration
+	clk      clock.Clock
 
 	feed  *warmFeed
 	stats BackupStats
@@ -36,10 +38,13 @@ type WarmBackup struct {
 
 // warmFeed is the shared, incrementally-fed log view: the serve goroutine
 // appends under mu; the replay VM's coordinator methods run under the same
-// mutex (the VM itself interprets outside it).
+// mutex (the VM itself interprets outside it). The replay side waits for
+// feed changes on a clock WaitSlot rather than a condition variable so that
+// the wait is visible to a virtual clock (the slot has exactly one waiter:
+// the warm VM goroutine, idling in OnIdle).
 type warmFeed struct {
 	mu   sync.Mutex
-	cond *sync.Cond
+	slot clock.WaitSlot
 	a    *analysis
 	fed  int
 
@@ -48,10 +53,8 @@ type warmFeed struct {
 	restored bool
 }
 
-func newWarmFeed(handlers *sehandler.Set) *warmFeed {
-	f := &warmFeed{a: newAnalysis(), handlers: handlers}
-	f.cond = sync.NewCond(&f.mu)
-	return f
+func newWarmFeed(handlers *sehandler.Set, clk clock.Clock) *warmFeed {
+	return &warmFeed{a: newAnalysis(), handlers: handlers, slot: clk.NewWaitSlot()}
 }
 
 // append indexes records and wakes the replay side.
@@ -64,7 +67,7 @@ func (f *warmFeed) append(records []wire.Record) error {
 		}
 		f.fed++
 	}
-	f.cond.Broadcast()
+	f.slot.Signal()
 	return nil
 }
 
@@ -89,7 +92,7 @@ func (f *warmFeed) close() error {
 			Heap: f.vmachine.Heap(), Env: f.vmachine.Environment(), Proc: f.vmachine.Process(),
 		})
 	}
-	f.cond.Broadcast()
+	f.slot.Signal()
 	return err
 }
 
@@ -152,17 +155,22 @@ func (w *warmCoordinator) Poll(v *vm.VM) (bool, error) {
 }
 
 // OnIdle blocks until the feed changes (new records or closure) while the
-// log is open; once closed, idling means genuine deadlock.
+// log is open; once closed, idling means genuine deadlock. The park happens
+// outside the mutex; the slot's latching makes a change between the unlock
+// and the park a wakeup rather than a lost signal, and a stale latched
+// wakeup only costs one spurious retry (the VM re-checks and idles again).
 func (w *warmCoordinator) OnIdle(v *vm.VM) (bool, error) {
 	w.feed.mu.Lock()
-	defer w.feed.mu.Unlock()
 	if retry, err := w.inner.OnIdle(v); retry || err != nil {
+		w.feed.mu.Unlock()
 		return retry, err
 	}
 	if !w.feed.a.open {
+		w.feed.mu.Unlock()
 		return false, nil
 	}
-	w.feed.cond.Wait()
+	w.feed.mu.Unlock()
+	w.feed.slot.Park(0)
 	return true, nil
 }
 
@@ -188,13 +196,15 @@ func NewWarmBackup(cfg BackupConfig) (*WarmBackup, error) {
 	if reg == nil {
 		reg = native.StdLib()
 	}
+	clk := clock.Or(cfg.Clock)
 	return &WarmBackup{
 		mode:     cfg.Mode,
 		ep:       cfg.Endpoint,
 		handlers: h,
 		natives:  reg,
 		timeout:  cfg.FailureTimeout,
-		feed:     newWarmFeed(h),
+		clk:      clk,
+		feed:     newWarmFeed(h, clk),
 	}, nil
 }
 
@@ -261,22 +271,30 @@ func (w *WarmBackup) Run(cfg RecoverConfig) (*vm.VM, *WarmResult, error) {
 	}
 	w.feed.vmachine = machine
 
+	// The serve goroutine is spawned through the clock (it blocks in
+	// Endpoint.Recv, which a simulated transport parks clock-visibly), and
+	// the join below is a clock Flag rather than a channel receive: after
+	// the replay VM finishes, serve may still be waiting out its
+	// FailureTimeout, which under a virtual clock only expires if this
+	// goroutine's wait is visible too.
 	type serveRes struct {
 		outcome ServeOutcome
 		err     error
 	}
-	serveCh := make(chan serveRes, 1)
-	go func() {
+	var sr2 serveRes
+	serveDone := clock.NewFlag(w.clk)
+	w.clk.Go(func() {
+		defer serveDone.Set()
 		outcome, err := w.serve()
 		if cerr := w.feed.close(); cerr != nil && err == nil {
 			err = cerr
 		}
-		serveCh <- serveRes{outcome, err}
-	}()
+		sr2 = serveRes{outcome, err}
+	})
 
 	caughtUp := false
 	runErr := machine.Run()
-	sr2 := <-serveCh
+	serveDone.Wait()
 	if sr2.err != nil {
 		return machine, nil, fmt.Errorf("warm serve: %w", sr2.err)
 	}

@@ -1,0 +1,238 @@
+// Package simnet is the simulated replication link for deterministic
+// simulation tests: an in-process duplex message channel whose delivery
+// schedule is drawn from a seeded PRNG and whose waits run on a virtual
+// clock. It implements transport.Endpoint, so a primary/backup pair wired
+// through it behaves exactly as over the real pipe — except that latency,
+// ordering, and timeout interleavings are a pure function of the seed, and a
+// whole fault schedule executes in microseconds of wall time.
+//
+// Message loss, duplication, partitions, and mid-write closes are NOT
+// simnet's job: wrap an endpoint in transport.Faulty (with the same virtual
+// clock) to inject those at deterministic operation indices. simnet supplies
+// the substrate — seeded latency, optional reordering, drain-on-close pipe
+// semantics, and a per-send hook for positioning crashes.
+package simnet
+
+import (
+	"sync"
+	"time"
+
+	frand "repro/internal/fuzzgen/rand"
+	"repro/internal/simtest/clock"
+	"repro/internal/transport"
+)
+
+// Config shapes one duplex link. Latency for every message is an independent
+// draw in [MinDelay, MaxDelay] from the lane's seeded RNG; by default
+// deliveries are FIFO-clamped (a fast draw cannot overtake an earlier slow
+// one, like a TCP stream). ReorderNum/ReorderDen give the per-message chance
+// that the clamp is skipped, letting that message arrive before its
+// predecessors — the "ordered transport momentarily isn't" schedule that
+// exercises the backup's SeqGate gap handling.
+type Config struct {
+	Seed       int64
+	MinDelay   time.Duration // zero ⇒ 50µs virtual
+	MaxDelay   time.Duration // zero ⇒ 10×MinDelay
+	ReorderNum int           // chance a message skips FIFO clamping...
+	ReorderDen int           // ...as ReorderNum in ReorderDen (0 den ⇒ never)
+}
+
+// Link returns the two ends of a simulated duplex channel scheduled on clk.
+func Link(clk *clock.Virtual, cfg Config) (a, b *Endpoint) {
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = 50 * time.Microsecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = 10 * cfg.MinDelay
+	}
+	root := frand.New(uint64(cfg.Seed))
+	l := &link{clk: clk, cfg: cfg}
+	ab := &lane{rng: root.Fork(), slot: clk.NewWaitSlot()}
+	ba := &lane{rng: root.Fork(), slot: clk.NewWaitSlot()}
+	a = &Endpoint{link: l, out: ab, in: ba}
+	b = &Endpoint{link: l, out: ba, in: ab}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// link is the shared state of one duplex channel. One mutex guards both
+// lanes and both ends' closed flags: sender and receiver of a lane are
+// different goroutines on different endpoints, so per-endpoint locking would
+// race. The lock order is always link.mu → clock internals (clock event
+// callbacks touch only wait-slot state, never the link).
+type link struct {
+	clk *clock.Virtual
+	cfg Config
+	mu  sync.Mutex
+}
+
+// lane is one one-way direction: a queue of in-flight messages stamped with
+// virtual delivery times, and the receiver's wait slot. Messages are
+// enqueued at send time; the clock event scheduled for deliverAt only
+// signals the slot, which is why delivery callbacks never need link.mu.
+// Guarded by link.mu.
+type lane struct {
+	rng  *frand.RNG
+	slot clock.WaitSlot
+
+	queue  []inflight
+	lastAt time.Time // FIFO clamp: latest delivery stamp issued so far
+	sends  int       // messages offered on this lane (1-based hook index)
+	hook   func(n int, msg []byte) (deliver bool)
+}
+
+type inflight struct {
+	data []byte
+	at   time.Time
+}
+
+// Endpoint is one end of the link. It satisfies transport.Endpoint.
+type Endpoint struct {
+	link *link
+	out  *lane // lane this end sends on
+	in   *lane // lane this end receives on
+	peer *Endpoint
+
+	closed bool // guarded by link.mu
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// SetSendHook installs fn on this end's outgoing lane, called synchronously
+// on the sender's goroutine for each Send with the 1-based send index,
+// before the message is enqueued. Returning false suppresses delivery (the
+// message is lost in flight). The simulation harness uses it to position
+// crashes at exact frame counts — kill at the Nth send, with or without the
+// frame escaping — which is what makes kill points schedule-exact rather
+// than poll-approximate. fn runs under the link lock and must not call back
+// into the endpoint.
+func (e *Endpoint) SetSendHook(fn func(n int, msg []byte) (deliver bool)) {
+	e.link.mu.Lock()
+	defer e.link.mu.Unlock()
+	e.out.hook = fn
+}
+
+// Send implements transport.Endpoint. It never blocks (the lane buffer is
+// unbounded; replication's ack flow keeps it shallow) and stamps the message
+// with a seeded delivery time.
+func (e *Endpoint) Send(msg []byte) error {
+	l := e.link
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.closed || e.peer.closed {
+		return transport.ErrClosed
+	}
+	out := e.out
+	out.sends++
+	if out.hook != nil && !out.hook(out.sends, msg) {
+		return nil // swallowed in flight; the sender cannot tell
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+
+	now := l.clk.Now()
+	at := now.Add(l.cfg.MinDelay + time.Duration(out.rng.Range(0, int(l.cfg.MaxDelay-l.cfg.MinDelay))))
+	reordered := l.cfg.ReorderDen > 0 && out.rng.Chance(l.cfg.ReorderNum, l.cfg.ReorderDen)
+	if !reordered && at.Before(out.lastAt) {
+		at = out.lastAt
+	}
+	if at.After(out.lastAt) {
+		out.lastAt = at
+	}
+	out.queue = append(out.queue, inflight{data: cp, at: at})
+	l.clk.ScheduleSignal(at, out.slot)
+	return nil
+}
+
+// Recv implements transport.Endpoint. The wait is entirely clock-visible:
+// the receiver parks on the lane's slot and is woken by delivery events or
+// the virtual timeout, so "ack arrives just before/after the deadline" is a
+// deterministic consequence of the seed. After either end closes, anything
+// already in flight is drained before ErrClosed — the pipe's contract.
+func (e *Endpoint) Recv(timeout time.Duration) ([]byte, error) {
+	l := e.link
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = l.clk.Now().Add(timeout)
+	}
+	for {
+		l.mu.Lock()
+		if msg, ok := e.popLocked(); ok {
+			l.mu.Unlock()
+			return msg, nil
+		}
+		if (e.closed || e.peer.closed) && len(e.in.queue) == 0 {
+			l.mu.Unlock()
+			return nil, transport.ErrClosed
+		}
+		slot := e.in.slot
+		l.mu.Unlock()
+
+		wait := time.Duration(0) // no caller timeout: park until signalled
+		if timeout > 0 {
+			wait = deadline.Sub(l.clk.Now())
+			if wait <= 0 {
+				return nil, transport.ErrTimeout
+			}
+		}
+		if slot.Park(wait) {
+			return nil, transport.ErrTimeout
+		}
+	}
+}
+
+// popLocked removes and returns the next deliverable message on e's inbound
+// lane: the ripe message with the earliest delivery stamp (send order breaks
+// ties; reordered messages can be ripe behind an unripe head). After closure
+// everything buffered is deliverable immediately, ripe or not — drain
+// semantics — but still in stamp order, so a reordered schedule stays
+// reordered when the sender dies.
+func (e *Endpoint) popLocked() ([]byte, bool) {
+	in := e.in
+	if len(in.queue) == 0 {
+		return nil, false
+	}
+	closed := e.closed || e.peer.closed
+	now := e.link.clk.Now()
+	idx := -1
+	for i := range in.queue {
+		if !closed && in.queue[i].at.After(now) {
+			continue
+		}
+		if idx < 0 || in.queue[i].at.Before(in.queue[idx].at) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	msg := in.queue[idx].data
+	in.queue = append(in.queue[:idx], in.queue[idx+1:]...)
+	return msg, true
+}
+
+// Close implements transport.Endpoint: idempotent, wakes both receivers so
+// they observe closure (after draining whatever was already in flight).
+func (e *Endpoint) Close() error {
+	l := e.link
+	l.mu.Lock()
+	if e.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	in, peerIn := e.in.slot, e.peer.in.slot
+	l.mu.Unlock()
+	in.Signal()
+	peerIn.Signal()
+	return nil
+}
+
+// Sends returns how many messages have been offered on this end's outgoing
+// lane (including hook-suppressed ones) — the coordinate system for
+// positioning kill points.
+func (e *Endpoint) Sends() int {
+	e.link.mu.Lock()
+	defer e.link.mu.Unlock()
+	return e.out.sends
+}

@@ -1,0 +1,102 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	ftvm "repro"
+	"repro/internal/fuzzgen"
+)
+
+// TestSweepTraceDeterminism is the harness's core promise: the same sweep
+// configuration produces a byte-identical trace on every run — outcomes,
+// record counts, and simulated timestamps included. Any wall-clock leak into
+// the schedule (a real timer racing a virtual one, an unseeded draw) shows up
+// here as a diff.
+func TestSweepTraceDeterminism(t *testing.T) {
+	cfg := SweepConfig{
+		ProgSeeds: []uint64{1, 2},
+		Size:      fuzzgen.SizeSmall,
+		Modes:     []ftvm.Mode{ftvm.ModeLock, ftvm.ModeSched},
+		KillSends: []int{1, 4},
+		NetSeeds:  []int64{3},
+	}
+	first := RunSweep(cfg, nil)
+	if first.Combos == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, f := range first.Failures {
+		t.Errorf("combo failed: %s\nreplay: %s", f.TraceLine(), f.ReplayCommand())
+	}
+	second := RunSweep(cfg, nil)
+	a, b := strings.Join(first.Trace, "\n"), strings.Join(second.Trace, "\n")
+	if a != b {
+		t.Fatalf("sweep trace not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestSweepBroad runs the full default schedule space — kill points × channel
+// faults × modes × network seeds over several generated programs, more than
+// 200 combos — and requires every schedule to reproduce the reference output.
+// The whole sweep must finish far inside a minute of wall time: that budget
+// is the point of simulating, so it is asserted, not hoped for.
+func TestSweepBroad(t *testing.T) {
+	cfg := SweepConfig{
+		ProgSeeds: []uint64{1, 2, 3, 4},
+		Size:      fuzzgen.SizeSmall,
+		NetSeeds:  []int64{1, 2},
+	}
+	combos := cfg.Combos()
+	if len(combos) < 200 {
+		t.Fatalf("default sweep enumerates only %d combos, want >= 200", len(combos))
+	}
+	res := RunSweep(cfg, nil)
+	for _, f := range res.Failures {
+		t.Errorf("combo failed: %s\nreplay: %s", f.TraceLine(), f.ReplayCommand())
+	}
+	if res.Elapsed > 60*time.Second {
+		t.Fatalf("sweep of %d combos took %v wall time, want < 60s", res.Combos, res.Elapsed)
+	}
+	t.Logf("%d combos in %v wall", res.Combos, res.Elapsed.Round(time.Millisecond))
+}
+
+// TestComboKeyRoundTrip pins the replay-string format: every enumerated combo
+// parses back to itself, so the single line the sweep prints on failure is
+// always sufficient to reproduce the run.
+func TestComboKeyRoundTrip(t *testing.T) {
+	cfg := SweepConfig{ProgSeeds: []uint64{7}, Size: fuzzgen.SizeMedium, NetSeeds: []int64{-4}}
+	for _, cb := range cfg.Combos() {
+		parsed, err := ParseCombo(cb.Key())
+		if err != nil {
+			t.Fatalf("ParseCombo(%q): %v", cb.Key(), err)
+		}
+		if parsed != cb {
+			t.Fatalf("round trip changed combo: %q -> %q", cb.Key(), parsed.Key())
+		}
+	}
+	if _, err := ParseCombo("prog=1,bogus=2"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseCombo("mode=warp"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestFuzzReplayKeyParses pins the bridge from the live fuzzer: the
+// `ftvm-sim -replay` string that ftvm-fuzz prints for a failing seed must be
+// accepted by ParseCombo and name the same generated program.
+func TestFuzzReplayKeyParses(t *testing.T) {
+	f := &fuzzgen.Failure{Seed: 8241, Size: fuzzgen.SizeMedium, Stage: fuzzgen.StageFailover}
+	key := fuzzgen.SimReplayKey(f)
+	cb, err := ParseCombo(key)
+	if err != nil {
+		t.Fatalf("ParseCombo(%q): %v", key, err)
+	}
+	if cb.ProgSeed != f.Seed || cb.Size != f.Size {
+		t.Fatalf("combo %q lost the program identity (seed %d size %s)", key, f.Seed, f.Size)
+	}
+	if cb.KillAtSend == 0 && cb.FaultKind == 0 {
+		t.Fatalf("combo %q carries no failure schedule", key)
+	}
+}

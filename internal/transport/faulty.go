@@ -1,9 +1,11 @@
 package transport
 
 import (
-	"math/rand"
 	"sync"
 	"time"
+
+	frand "repro/internal/fuzzgen/rand"
+	"repro/internal/simtest/clock"
 )
 
 // FaultKind enumerates the injectable channel failures. Each models a way a
@@ -86,9 +88,10 @@ type FaultyStats struct {
 type Faulty struct {
 	inner Endpoint
 	plan  FaultPlan
+	clk   clock.Clock
 
 	mu           sync.Mutex
-	rng          *rand.Rand
+	rng          *frand.RNG
 	stats        FaultyStats
 	partitionOut bool
 	partitionIn  bool
@@ -97,9 +100,18 @@ type Faulty struct {
 var _ Endpoint = (*Faulty)(nil)
 
 // NewFaulty wraps ep with plan; seed derives any randomized fault parameters
-// (currently the FaultDelaySend jitter when plan.Delay is zero).
+// (currently the FaultDelaySend jitter when plan.Delay is zero). Delays and
+// partition silences run on the wall clock; use NewFaultyClock to put them
+// on a simulated clock.
 func NewFaulty(ep Endpoint, plan FaultPlan, seed int64) *Faulty {
-	return &Faulty{inner: ep, plan: plan, rng: rand.New(rand.NewSource(seed))}
+	return NewFaultyClock(ep, plan, seed, nil)
+}
+
+// NewFaultyClock is NewFaulty with an injected clock: under a virtual clock
+// the injected delays and partition silences advance simulated time instead
+// of sleeping, making whole fault schedules deterministic and instant.
+func NewFaultyClock(ep Endpoint, plan FaultPlan, seed int64, clk clock.Clock) *Faulty {
+	return &Faulty{inner: ep, plan: plan, rng: frand.New(uint64(seed)), clk: clock.Or(clk)}
 }
 
 // Stats returns a copy of the activity counters.
@@ -161,7 +173,7 @@ func (f *Faulty) Send(msg []byte) error {
 	}
 	f.mu.Unlock()
 	if delay > 0 {
-		time.Sleep(delay)
+		f.clk.Sleep(delay)
 	}
 	return f.inner.Send(msg)
 }
@@ -180,7 +192,7 @@ func (f *Faulty) Recv(timeout time.Duration) ([]byte, error) {
 		// Silence: nothing arrives. With no timeout the caller would block
 		// forever; surface the timeout immediately instead of hanging tests.
 		if timeout > 0 {
-			time.Sleep(timeout)
+			f.clk.Sleep(timeout)
 		}
 		return nil, ErrTimeout
 	}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/simtest/clock"
 )
 
 // Latency wraps an endpoint with a calibrated send cost: a fixed per-message
@@ -18,6 +20,7 @@ type Latency struct {
 	inner  Endpoint
 	perMsg time.Duration
 	perKB  time.Duration
+	clk    clock.Clock
 
 	mu        sync.Mutex
 	sentBytes uint64
@@ -30,20 +33,32 @@ var _ Endpoint = (*Latency)(nil)
 // WithLatency wraps ep. A 100 Mbps link costs ~80µs/KB; a LAN round trip in
 // 2003 was a few hundred µs, modelled by perMsg on each direction.
 func WithLatency(ep Endpoint, perMsg, perKB time.Duration) *Latency {
-	return &Latency{inner: ep, perMsg: perMsg, perKB: perKB}
+	return WithLatencyClock(ep, perMsg, perKB, nil)
 }
 
-// Send implements Endpoint, charging the simulated transmission time. The
-// wait spins with scheduler yields rather than sleeping: time.Sleep
-// quantizes to roughly a millisecond, far coarser than the tens of
-// microseconds a frame costs, and yielding lets the peer's goroutine run
-// during the "transmission" (as the real NIC would allow).
+// WithLatencyClock is WithLatency with an injected clock: under a virtual
+// clock the transmission charge advances simulated time instead of occupying
+// the CPU.
+func WithLatencyClock(ep Endpoint, perMsg, perKB time.Duration, clk clock.Clock) *Latency {
+	return &Latency{inner: ep, perMsg: perMsg, perKB: perKB, clk: clock.Or(clk)}
+}
+
+// Send implements Endpoint, charging the simulated transmission time. On the
+// wall clock the wait spins with scheduler yields rather than sleeping:
+// time.Sleep quantizes to roughly a millisecond, far coarser than the tens
+// of microseconds a frame costs, and yielding lets the peer's goroutine run
+// during the "transmission" (as the real NIC would allow). Under an injected
+// virtual clock the charge is a clock-visible sleep instead.
 func (l *Latency) Send(msg []byte) error {
 	d := l.perMsg + time.Duration(len(msg))*l.perKB/1024
 	if d > 0 {
-		deadline := time.Now().Add(d)
-		for time.Now().Before(deadline) {
-			runtime.Gosched()
+		if _, wall := l.clk.(clock.RealClock); wall {
+			deadline := clock.Real.Now().Add(d)
+			for clock.Real.Now().Before(deadline) {
+				runtime.Gosched()
+			}
+		} else {
+			l.clk.Sleep(d)
 		}
 	}
 	l.mu.Lock()

@@ -15,6 +15,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/simtest/clock"
 )
 
 // Errors surfaced by endpoints.
@@ -84,12 +86,14 @@ func (p *pipeEnd) Send(msg []byte) error {
 	}
 }
 
-// Recv implements Endpoint.
+// Recv implements Endpoint. The pipe is the wall-clock transport (simulated
+// clusters use simnet instead), so its timeout deliberately runs on real
+// time via the explicit clock.Real opt-in.
 func (p *pipeEnd) Recv(timeout time.Duration) ([]byte, error) {
 	var timer *time.Timer
 	var expire <-chan time.Time
 	if timeout > 0 {
-		timer = time.NewTimer(timeout)
+		timer = clock.Real.Timer(timeout)
 		defer timer.Stop()
 		expire = timer.C
 	}
@@ -223,9 +227,11 @@ func (t *tcpEndpoint) Recv(timeout time.Duration) ([]byte, error) {
 	if t.isClosed() {
 		return nil, ErrClosed
 	}
+	// Socket deadlines are inherently wall-clock: the kernel, not the
+	// process, enforces them. Explicit clock.Real opt-in.
 	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		deadline = clock.Real.Now().Add(timeout)
 	}
 	if err := t.conn.SetReadDeadline(deadline); err != nil {
 		return nil, t.mapErr(err)

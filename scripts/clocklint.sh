@@ -1,0 +1,33 @@
+#!/bin/sh
+# clocklint: enforce the clock-injection rule (see DESIGN.md, "Deterministic
+# simulation & the clock rule").
+#
+# Library code that runs inside the replicated machine must take its time from
+# an injected clock.Clock, never from the wall directly — a naked time.Now or
+# time.Sleep is invisible to the virtual clock and silently breaks the
+# determinism the simulation harness depends on. Code that genuinely wants
+# wall time (wall-clock metrics, real sockets) opts in explicitly by calling
+# clock.Real.Now() etc., which reads as a decision instead of an accident and
+# does not match this lint.
+#
+# Exempt: _test.go files (real-time tests are audited in DESIGN.md),
+# internal/simtest/** (the clock implementation itself), and main packages
+# under cmd/** (CLIs report wall time to humans).
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='(^|[^.[:alnum:]_])time\.(Now|Sleep|After|AfterFunc|Since|Until|NewTimer|NewTicker|Tick)\('
+
+bad=$(find . -name '*.go' \
+    ! -name '*_test.go' \
+    ! -path './internal/simtest/*' \
+    ! -path './cmd/*' \
+    -print | sort | xargs grep -nE "$pattern" 2>/dev/null || true)
+
+if [ -n "$bad" ]; then
+    echo "clock-lint: naked wall-clock calls in library code." >&2
+    echo "Use the injected clock.Clock, or clock.Real.* for an explicit wall-time opt-in:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "clock-lint: ok"

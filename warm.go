@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/replication"
+	"repro/internal/simtest/clock"
 	"repro/internal/vm"
 )
 
@@ -30,6 +31,7 @@ type WarmResult struct {
 // program with the usual exactly-once output guarantees.
 func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Options) (*WarmResult, error) {
 	opts.fill()
+	clk := opts.clock()
 	environ := opts.environment()
 	pEnd, bEnd := opts.newPipe()
 
@@ -41,6 +43,7 @@ func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Optio
 		HeartbeatEvery:      opts.Heartbeat,
 		AckTimeout:          opts.AckTimeout,
 		DegradeOnBackupLoss: opts.DegradeOnBackupLoss,
+		Clock:               opts.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -56,49 +59,45 @@ func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	warm, err := replication.NewWarmBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd})
+	warm, err := replication.NewWarmBackup(replication.BackupConfig{Mode: mode, Endpoint: bEnd, Clock: opts.Clock})
 	if err != nil {
 		return nil, err
 	}
 
-	type warmDone struct {
-		res *replication.WarmResult
-		err error
-	}
-	warmCh := make(chan warmDone, 1)
-	go func() {
-		_, res, err := warm.Run(replication.RecoverConfig{
+	// Goroutines are spawned through the clock and joined via clock Flags so
+	// the same structure runs under a virtual clock (see Options.Clock).
+	var warmRes *replication.WarmResult
+	var warmErr error
+	warmDone := clock.NewFlag(clk)
+	clk.Go(func() {
+		defer warmDone.Set()
+		_, warmRes, warmErr = warm.Run(replication.RecoverConfig{
 			Program:         prog,
 			Env:             environ,
 			Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
 			GCThreshold:     opts.GCThreshold,
 			MaxInstructions: opts.MaxInstructions,
 		})
-		warmCh <- warmDone{res, err}
-	}()
+	})
 
-	stopTrigger := make(chan struct{})
+	stopTrigger := clock.NewFlag(clk)
 	if trigger != nil {
-		go func() {
-			for {
-				select {
-				case <-stopTrigger:
-					return
-				case <-time.After(50 * time.Microsecond):
-				}
+		clk.Go(func() {
+			for !stopTrigger.IsSet() {
 				if trigger(warm.Logged()) {
 					machine.Kill()
 					return
 				}
+				clk.Sleep(50 * time.Microsecond)
 			}
-		}()
+		})
 	}
 
-	t0 := time.Now()
+	t0 := clk.Now()
 	runErr := machine.Run()
-	elapsed := time.Since(t0)
-	close(stopTrigger)
-	wd := <-warmCh
+	elapsed := clk.Since(t0)
+	stopTrigger.Set()
+	warmDone.Wait()
 
 	res := &WarmResult{
 		PrimaryStats:   machine.Stats(),
@@ -108,15 +107,15 @@ func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Optio
 		Console:        environ.Console().Lines(),
 		Env:            environ,
 	}
-	if wd.res != nil {
-		res.Outcome = wd.res.Outcome
-		res.Warm = wd.res
+	if warmRes != nil {
+		res.Outcome = warmRes.Outcome
+		res.Warm = warmRes
 	}
 	if runErr != nil && !machine.Killed() {
 		return res, fmt.Errorf("primary run: %w", runErr)
 	}
-	if wd.err != nil {
-		return res, fmt.Errorf("warm backup: %w", wd.err)
+	if warmErr != nil {
+		return res, fmt.Errorf("warm backup: %w", warmErr)
 	}
 	res.Console = environ.Console().Lines()
 	return res, nil
