@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke replay-seeds
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke replay-seeds
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,19 @@ clock-lint:
 sim-smoke:
 	$(GO) run ./cmd/ftvm-sim -progs 4 -nets 2
 
-# Replay the regression table of historical failure classes (PR 1-3 bugs)
-# under the deterministic harness. See internal/simtest/replayseeds_test.go.
+# Three-node view-change smoke: the first primary dies, the promoted backup
+# recruits the idle node via snapshot + live-tail state transfer, and
+# schedules also kill the promoted primary (the n-1 sequential-failure
+# space), plus stale-epoch stragglers probing the split-brain gate.
+view-smoke:
+	$(GO) run ./cmd/ftvm-sim -view -progs 2 -nets 1
+
+# Replay the regression tables of historical failure classes under the
+# deterministic harness: the pair table (PR 1-3 bugs) and the view-change
+# table (epoch/promotion bugs). See internal/simtest/replayseeds_test.go and
+# viewsweep_test.go.
 replay-seeds:
-	$(GO) test -run TestReplaySeeds -v ./internal/simtest
+	$(GO) test -run 'TestReplaySeeds|TestViewReplaySeeds' -v ./internal/simtest
 
 # Bounded fuzzing pass: the differential smoke quota (a few hundred generated
 # programs cross-checked standalone/replicated/failover) plus a short burst of
@@ -44,7 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke
+check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all

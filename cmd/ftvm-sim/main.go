@@ -10,7 +10,15 @@
 //	ftvm-sim -progs 8 -start 100 -nets 4 -v     # wider sweep
 //	ftvm-sim -kills 1,2,3,5,8,13,21     # denser kill positions
 //	ftvm-sim -trace sweep.txt           # write the deterministic trace
+//	ftvm-sim -view                      # three-node view-change sweep
 //	ftvm-sim -replay "prog=7,size=small,mode=sched,kill=12,deliver=1,fault=none@0,net=3,reorder=1/8"
+//	ftvm-sim -replay "prog=3,size=small,mode=lock,kill1=4,d1=0,kill2=1,d2=0,fault=none@0,inject=1,net=5,reorder=1/8"
+//
+// With -view the sweep runs the three-node cluster (internal/simtest's view
+// service): the first primary is killed, the promoted backup recruits the
+// idle node through a snapshot + live-tail state transfer, and schedules kill
+// the promoted primary too — the n−1 sequential-failure space. -replay
+// dispatches on the key format itself (a "kill1=" field means a view combo).
 //
 // On any divergence the sweep prints the failing combo's trace line and the
 // single -replay string that reproduces it; exit status is non-zero.
@@ -45,6 +53,7 @@ func run() error {
 		nets     = flag.Int("nets", 2, "number of network seeds per schedule")
 		tracePth = flag.String("trace", "", "write the full deterministic trace to this file")
 		verbose  = flag.Bool("v", false, "print every combo's trace line")
+		view     = flag.Bool("view", false, "sweep the three-node view-change cluster instead of the pair")
 	)
 	flag.Parse()
 
@@ -56,20 +65,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := simtest.SweepConfig{Size: size}
+	var progSeeds []uint64
 	for i := 0; i < *progs; i++ {
-		cfg.ProgSeeds = append(cfg.ProgSeeds, *start+uint64(i))
+		progSeeds = append(progSeeds, *start+uint64(i))
 	}
+	var netSeeds []int64
 	for i := 0; i < *nets; i++ {
-		cfg.NetSeeds = append(cfg.NetSeeds, int64(i+1))
+		netSeeds = append(netSeeds, int64(i+1))
 	}
+	var killSends []int
 	if *kills != "" {
 		for _, f := range strings.Split(*kills, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
 				return fmt.Errorf("bad -kills entry %q: %w", f, err)
 			}
-			cfg.KillSends = append(cfg.KillSends, n)
+			killSends = append(killSends, n)
 		}
 	}
 
@@ -77,45 +88,85 @@ func run() error {
 	if *verbose {
 		logf = func(line string) { fmt.Println(line) }
 	}
-	res := simtest.RunSweep(cfg, logf)
+
+	var (
+		combos   int
+		elapsed  time.Duration
+		trace    []string
+		failures []string
+	)
+	if *view {
+		cfg := simtest.ViewSweepConfig{
+			Size: size, ProgSeeds: progSeeds, NetSeeds: netSeeds, Kill1Sends: killSends,
+		}
+		res := simtest.RunViewSweep(cfg, logf)
+		combos, elapsed, trace = res.Combos, res.Elapsed, res.Trace
+		for _, f := range res.Failures {
+			failures = append(failures, fmt.Sprintf("FAIL %s\n  replay: %s", f.TraceLine(), f.ReplayCommand()))
+		}
+	} else {
+		cfg := simtest.SweepConfig{
+			Size: size, ProgSeeds: progSeeds, NetSeeds: netSeeds, KillSends: killSends,
+		}
+		res := simtest.RunSweep(cfg, logf)
+		combos, elapsed, trace = res.Combos, res.Elapsed, res.Trace
+		for _, f := range res.Failures {
+			failures = append(failures, fmt.Sprintf("FAIL %s\n  replay: %s", f.TraceLine(), f.ReplayCommand()))
+		}
+	}
 
 	if *tracePth != "" {
-		data := strings.Join(res.Trace, "\n") + "\n"
+		data := strings.Join(trace, "\n") + "\n"
 		if err := os.WriteFile(*tracePth, []byte(data), 0o644); err != nil {
 			return err
 		}
 	}
 	fmt.Printf("swept %d combos (%d program seeds, %d net seeds, size %s) in %v wall: %d failures\n",
-		res.Combos, *progs, *nets, size, res.Elapsed.Round(time.Millisecond), len(res.Failures))
-	for _, f := range res.Failures {
-		fmt.Printf("FAIL %s\n  replay: %s\n", f.TraceLine(), f.ReplayCommand())
+		combos, *progs, *nets, size, elapsed.Round(time.Millisecond), len(failures))
+	for _, f := range failures {
+		fmt.Println(f)
 	}
-	if n := len(res.Failures); n > 0 {
-		return fmt.Errorf("%d of %d combos diverged", n, res.Combos)
+	if n := len(failures); n > 0 {
+		return fmt.Errorf("%d of %d combos diverged", n, combos)
 	}
 	return nil
 }
 
 func runReplay(key string) error {
-	cb, err := simtest.ParseCombo(key)
+	var (
+		line, detail string
+		err          error
+		ref, console []string
+	)
+	if simtest.IsViewKey(key) {
+		cb, perr := simtest.ParseViewCombo(key)
+		if perr != nil {
+			return perr
+		}
+		out := simtest.RunViewCombo(cb, nil, nil)
+		line, detail, err, ref, console = out.TraceLine(), out.Detail, out.Err, out.Ref, out.Console
+	} else {
+		cb, perr := simtest.ParseCombo(key)
+		if perr != nil {
+			return perr
+		}
+		out := simtest.RunCombo(cb, nil, nil)
+		line, detail, err, ref, console = out.TraceLine(), out.Detail, out.Err, out.Ref, out.Console
+	}
+	fmt.Println(line)
 	if err != nil {
 		return err
 	}
-	out := simtest.RunCombo(cb, nil, nil)
-	fmt.Println(out.TraceLine())
-	if out.Err != nil {
-		return out.Err
-	}
-	if out.Detail != "" {
+	if detail != "" {
 		fmt.Println("reference console:")
-		for _, ln := range out.Ref {
+		for _, ln := range ref {
 			fmt.Printf("  %s\n", ln)
 		}
 		fmt.Println("simulated console:")
-		for _, ln := range out.Console {
+		for _, ln := range console {
 			fmt.Printf("  %s\n", ln)
 		}
-		return fmt.Errorf("divergence: %s", out.Detail)
+		return fmt.Errorf("divergence: %s", detail)
 	}
 	return nil
 }

@@ -77,6 +77,13 @@ type BackupConfig struct {
 	// own — its only timed wait is the endpoint's Recv — but the simulation
 	// harness sets this so warm replicas are fully clock-visible.
 	Clock clock.Clock
+	// Epoch is the view number this backup serves in. Frames stamped with an
+	// older epoch are from a deposed primary and are dropped *without* an
+	// acknowledgement — acking them would let a stale sender believe its
+	// outputs committed against a configuration that has moved on (the
+	// split-brain window the view service closes). A plain pair runs in
+	// epoch 0.
+	Epoch uint64
 }
 
 // BackupStats counts serve-loop activity.
@@ -89,6 +96,7 @@ type BackupStats struct {
 	DuplicateFrames uint64 // frames re-delivered by a faulty channel (dropped, re-acked)
 	SeqGaps         uint64 // frames lost by the channel (declares the primary failed)
 	CorruptFrames   uint64 // undecodable frames (declares the primary failed)
+	StaleEpochs     uint64 // frames from a deposed primary's epoch (dropped, never acked)
 }
 
 // Backup is the cold backup: during normal operation it logs records (and
@@ -100,6 +108,8 @@ type Backup struct {
 	handlers *sehandler.Set
 	natives  *native.Registry
 	timeout  time.Duration
+	epoch    uint64
+	clk      clock.Clock
 
 	store *LogStore
 	stats BackupStats
@@ -127,9 +137,14 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 		handlers: h,
 		natives:  reg,
 		timeout:  cfg.FailureTimeout,
+		epoch:    cfg.Epoch,
+		clk:      clock.Or(cfg.Clock),
 		store:    NewLogStore(),
 	}, nil
 }
+
+// Epoch returns the view number this backup serves in.
+func (b *Backup) Epoch() uint64 { return b.epoch }
 
 // Store exposes the logged records (tests, diagnostics).
 func (b *Backup) Store() *LogStore { return b.store }
@@ -167,13 +182,31 @@ func (b *Backup) Serve() (ServeOutcome, error) {
 			b.stats.CorruptFrames++
 			return OutcomePrimaryFailed, nil
 		}
+		if frame.Epoch < b.epoch {
+			// A deposed primary is still shipping frames from an older view.
+			// Drop them without acknowledging — an ack here would let the
+			// stale sender count an output as committed against a
+			// configuration that has already moved on. Checked before the
+			// sequence gate: stale frames belong to another epoch's numbering
+			// and must not poison this view's dup/gap accounting.
+			b.stats.StaleEpochs++
+			continue
+		}
+		if frame.Epoch > b.epoch {
+			// The configuration moved past us while we were logging — a
+			// primary from a future view exists. This replica's log is no
+			// longer authoritative; surface it as a failed primary so the
+			// caller re-enters the view machinery rather than acking records
+			// it cannot place.
+			return OutcomePrimaryFailed, nil
+		}
 		if dup, gap := gate.Admit(frame.Seq); dup {
 			// Re-delivered frame: its records are already in the log. Drop
 			// them, but re-acknowledge so a primary waiting on this seq is
 			// not stranded by a lost ack.
 			b.stats.DuplicateFrames++
 			if frame.AckWanted {
-				if err := b.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+				if err := b.ep.Send(wire.EncodeAck(b.epoch, frame.Seq)); err != nil {
 					return OutcomePrimaryFailed, nil
 				}
 				b.stats.AcksSent++
@@ -209,7 +242,7 @@ func (b *Backup) Serve() (ServeOutcome, error) {
 			b.stats.RecordsLogged++
 		}
 		if frame.AckWanted {
-			if err := b.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+			if err := b.ep.Send(wire.EncodeAck(b.epoch, frame.Seq)); err != nil {
 				if errors.Is(err, transport.ErrClosed) {
 					return OutcomePrimaryFailed, nil
 				}
@@ -273,6 +306,17 @@ type RecoverConfig struct {
 	// GCThreshold / MaxInstructions are passed to the VM.
 	GCThreshold     int
 	MaxInstructions uint64
+	// OnVM, when set, receives the recovery VM right after construction and
+	// before it runs. The simulation harness uses it to install kill handles
+	// so a promoted primary can die at an exact frame position.
+	OnVM func(*vm.VM)
+	// Tail, when set, makes the recovering replica a *promoted* primary: every
+	// event past the recovered log — live lock acquisitions, scheduling
+	// decisions, native results, and the re-committed uncertain output — is
+	// teed through this outgoing Primary to a freshly recruited backup, whose
+	// log (snapshot prefix + tail) becomes a faithful continuation of the old
+	// one. Nil for a plain standalone recovery.
+	Tail *Primary
 }
 
 // RecoveryReport summarises what recovery did.
@@ -311,17 +355,21 @@ func (b *Backup) Recover(cfg RecoverConfig) (*vm.VM, *RecoveryReport, error) {
 	switch b.mode {
 	case ModeLock:
 		lr = newLockReplay(a, b.handlers, cfg.Policy)
+		lr.tail = cfg.Tail
 		nr = lr.nr
 		coord = lr
 	case ModeSched:
 		sr = newSchedReplay(a, b.handlers, cfg.Policy)
+		sr.tail = cfg.Tail
 		nr = sr.nr
 		coord = sr
 	case ModeLockInterval:
 		ir = newIntervalReplay(a, b.handlers, cfg.Policy)
+		ir.tail = cfg.Tail
 		nr = ir.nr
 		coord = ir
 	}
+	nr.tail = cfg.Tail
 	v, err := vm.New(vm.Config{
 		Program:         cfg.Program,
 		Env:             cfg.Env,
@@ -336,6 +384,9 @@ func (b *Backup) Recover(cfg RecoverConfig) (*vm.VM, *RecoveryReport, error) {
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("recovery vm: %w", err)
+	}
+	if cfg.OnVM != nil {
+		cfg.OnVM(v)
 	}
 	// Install handler state so natives can translate volatile identifiers,
 	// then rebuild volatile environment state (restore, run exactly once).

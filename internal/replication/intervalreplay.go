@@ -21,6 +21,7 @@ type intervalReplay struct {
 	idx      int
 	consumed uint64
 	lidNext  int64
+	tail     *Primary // promotion: live events tee to the new backup
 
 	// GatedWakeups counts threads admitted by Poll.
 	GatedWakeups uint64
@@ -82,8 +83,13 @@ func (c *intervalReplay) AssignLID(*vm.VM, *vm.Thread, *vm.Monitor) (int64, bool
 }
 
 // OnAcquired implements vm.Coordinator: advance within the interval.
-func (c *intervalReplay) OnAcquired(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) error {
+func (c *intervalReplay) OnAcquired(v *vm.VM, t *vm.Thread, m *vm.Monitor) error {
 	if c.idx >= len(c.a.intervals) {
+		// Past the recovered log: live acquisitions open/extend intervals in
+		// the new backup's log through the tail primary.
+		if c.tail != nil {
+			return c.tail.OnAcquired(v, t, m)
+		}
 		return nil
 	}
 	cur := c.a.intervals[c.idx]
@@ -141,4 +147,9 @@ func (c *intervalReplay) Poll(v *vm.VM) (bool, error) {
 func (c *intervalReplay) OnIdle(*vm.VM) (bool, error) { return false, nil }
 
 // OnHalt implements vm.Coordinator.
-func (c *intervalReplay) OnHalt(*vm.VM, error) error { return nil }
+func (c *intervalReplay) OnHalt(v *vm.VM, runErr error) error {
+	if c.tail != nil {
+		return c.tail.OnHalt(v, runErr)
+	}
+	return nil
+}

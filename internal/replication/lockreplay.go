@@ -21,6 +21,7 @@ type lockReplay struct {
 	nr      *nativeReplay
 	a       *analysis
 	lidNext int64
+	tail    *Primary // promotion: live events tee to the new backup
 
 	// GatedWakeups counts threads admitted by Poll (recovery diagnostics).
 	GatedWakeups uint64
@@ -137,15 +138,29 @@ func (c *lockReplay) AssignLID(_ *vm.VM, t *vm.Thread, _ *vm.Monitor) (int64, bo
 		c.lidNext = c.a.maxLID
 	}
 	c.lidNext++
+	if c.tail != nil {
+		// A live, first-ever acquisition past the recovered log: the new
+		// backup needs the id map just as the old one would have gotten it.
+		if err := c.tail.LogIDMap(t, c.lidNext); err != nil {
+			return 0, false, err
+		}
+	}
 	return c.lidNext, true, nil
 }
 
 // OnAcquired implements vm.Coordinator: consume and cross-check the
 // acquisition record.
-func (c *lockReplay) OnAcquired(_ *vm.VM, t *vm.Thread, m *vm.Monitor) error {
+func (c *lockReplay) OnAcquired(v *vm.VM, t *vm.Thread, m *vm.Monitor) error {
 	rec, ok := c.head(t)
 	if !ok {
-		return nil // this thread ran past its logged acquisitions (live)
+		// This thread ran past its logged acquisitions (live). Under
+		// promotion the acquisition is a fresh event the new backup must log;
+		// this also pairs up the orphan-id-map case, whose map came from the
+		// snapshot but whose acquisition record the old log prefix cut off.
+		if c.tail != nil {
+			return c.tail.OnAcquired(v, t, m)
+		}
+		return nil
 	}
 	if rec.TASN != t.TASN {
 		return divergence("thread %s acquired at t_asn %d, log head has t_asn %d", t.VTID, t.TASN, rec.TASN)
@@ -204,4 +219,9 @@ func (c *lockReplay) Poll(v *vm.VM) (bool, error) {
 func (c *lockReplay) OnIdle(*vm.VM) (bool, error) { return false, nil }
 
 // OnHalt implements vm.Coordinator.
-func (c *lockReplay) OnHalt(*vm.VM, error) error { return nil }
+func (c *lockReplay) OnHalt(v *vm.VM, runErr error) error {
+	if c.tail != nil {
+		return c.tail.OnHalt(v, runErr)
+	}
+	return nil
+}

@@ -27,6 +27,8 @@ type PrimaryMetrics struct {
 	AcksAwaited     uint64
 	HeartbeatsSent  uint64
 	AckTimeouts     uint64
+	StaleAcks       uint64 // acks from another epoch, skipped
+	Desyncs         uint64 // undecodable acks / acks for unsent frames
 	LargestFrameLen int
 	BackupLost      bool
 }
@@ -52,6 +54,8 @@ type primaryMetrics struct {
 	acksAwaited    atomic.Uint64
 	heartbeatsSent atomic.Uint64
 	ackTimeouts    atomic.Uint64
+	staleAcks      atomic.Uint64
+	desyncs        atomic.Uint64
 	largestFrame   atomic.Int64
 	backupLost     atomic.Bool
 }
@@ -89,6 +93,8 @@ func (m *primaryMetrics) Snapshot() PrimaryMetrics {
 		AcksAwaited:     m.acksAwaited.Load(),
 		HeartbeatsSent:  m.heartbeatsSent.Load(),
 		AckTimeouts:     m.ackTimeouts.Load(),
+		StaleAcks:       m.staleAcks.Load(),
+		Desyncs:         m.desyncs.Load(),
 		LargestFrameLen: int(m.largestFrame.Load()),
 		BackupLost:      m.backupLost.Load(),
 	}

@@ -19,6 +19,13 @@ type nativeReplay struct {
 	handlers *sehandler.Set
 	a        *analysis
 
+	// tail, when set, is the promoted replica's own outgoing primary: every
+	// native event past the recovered log — and the uncertain final output,
+	// which must be re-committed against the new configuration — is routed
+	// through it so the new backup's log stays a faithful continuation of the
+	// old one (the state-transfer tail of a view change).
+	tail *Primary
+
 	// Recovery counters for the harness/tests.
 	FedResults  uint64
 	Reinvoked   uint64
@@ -68,6 +75,12 @@ func (nr *nativeReplay) invoke(v *vm.VM, t *vm.Thread, def *native.Def, args []h
 	if len(q) == 0 {
 		// This thread has run past the primary's logged execution: live.
 		nr.LiveInvokes++
+		if nr.tail != nil {
+			// Promoted replica: live natives take the full primary path —
+			// output commit against the new backup, result logging for
+			// non-deterministic commands.
+			return nr.tail.InvokeNative(v, t, def, args)
+		}
 		return v.DirectNative(t, def, args)
 	}
 	switch rec := q[0].(type) {
@@ -135,6 +148,16 @@ func headResult(q []wire.Record) (*wire.NativeResult, bool) {
 // testable outputs are checked against the environment; idempotent ones are
 // re-run (§3.4, R5).
 func (nr *nativeReplay) handleUncertain(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value, intent *wire.OutputIntent) ([]heap.Value, error) {
+	if nr.tail != nil {
+		// The old log's trailing intent was deliberately not shipped in the
+		// snapshot: re-commit it here, against the *new* configuration, before
+		// deciding whether to (re)perform the output. The intent lands in the
+		// same log position it held in the old epoch, so a second recovery
+		// sees an identical prefix.
+		if err := nr.tail.CommitOutput(t, def); err != nil {
+			return nil, err
+		}
+	}
 	performed := false
 	if h := nr.handlers.ForDef(def); h != nil {
 		nr.TestedOuts++
@@ -154,7 +177,18 @@ func (nr *nativeReplay) handleUncertain(v *vm.VM, t *vm.Thread, def *native.Def,
 	// Not performed, or a value-returning output whose (idempotent, R5)
 	// re-execution regenerates the result the primary never logged.
 	nr.Reinvoked++
-	return v.DirectNative(t, def, args)
+	results, err := v.DirectNative(t, def, args)
+	if err != nil {
+		return nil, err
+	}
+	if def.NonDeterministic && nr.tail != nil {
+		// The old primary died before logging this result; the new backup
+		// gets it from us.
+		if err := nr.tail.LogNativeResult(v, t, def, args, results); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // useLogged adopts the primary's logged results, re-invoking first when the

@@ -23,6 +23,18 @@ import (
 // continues executing unreplicated.
 var ErrBackupLost = errors.New("backup lost: ack timeout or transport failure")
 
+// ErrProtocolDesync means the acknowledgement stream itself is broken: the
+// primary received an ack for a frame it never sent, or bytes that do not
+// parse as an ack at all. Either way the channel (or whoever is on the other
+// end of it) cannot be trusted to have logged what the primary shipped, so
+// treating any future ack as an output commit would be unsound. The error
+// always accompanies ErrBackupLost — a desynced backup is a lost backup.
+//
+// Historically the ack loop accepted any ack with seq >= wantSeq, so a
+// corrupt ack (or one from a stale pre-takeover sender) could silently
+// satisfy an output commit; this error is the fix's visible half.
+var ErrProtocolDesync = errors.New("replication protocol desync: acknowledgement for a frame never sent")
+
 // PrimaryConfig configures the primary-side coordinator.
 type PrimaryConfig struct {
 	// Mode selects lock-acquisition or thread-scheduling replication.
@@ -54,6 +66,11 @@ type PrimaryConfig struct {
 	// buckets (nil = wall clock). The deterministic simulation harness
 	// injects a virtual clock here.
 	Clock clock.Clock
+	// Epoch is the view number this primary holds office in, stamped on
+	// every frame and required on every ack. A plain pair runs in epoch 0;
+	// the view service hands out higher epochs on promotion so receivers can
+	// reject traffic from deposed primaries (see internal/viewsvc).
+	Epoch uint64
 }
 
 // Primary is the vm.Coordinator that turns a VM into the primary replica.
@@ -67,8 +84,15 @@ type Primary struct {
 	degrade    bool
 	clk        clock.Clock
 
+	epoch uint64
+
 	buf      wire.Buffer
 	frameSeq uint64
+	// lastSent is the highest frame sequence actually offered to the
+	// endpoint; an ack above it names a frame that never existed and trips
+	// ErrProtocolDesync. Written under sendMu, read by awaitAck on the VM
+	// goroutine (atomically, since heartbeats send concurrently).
+	lastSent atomic.Uint64
 	sendMu   sync.Mutex
 	// frameBuf is the reusable frame-encode scratch (guarded by sendMu);
 	// every Endpoint.Send must have consumed the bytes before returning, so
@@ -137,6 +161,7 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 		degrade:    cfg.DegradeOnBackupLoss,
 		hbEvery:    cfg.HeartbeatEvery,
 		clk:        clock.Or(cfg.Clock),
+		epoch:      cfg.Epoch,
 	}
 	if p.hbEvery > 0 {
 		p.hbSlot = p.clk.NewWaitSlot()
@@ -156,6 +181,9 @@ func (p *Primary) BackupLost() bool { return p.backupLost.Load() }
 
 // Handlers returns the side-effect handler set.
 func (p *Primary) Handlers() *sehandler.Set { return p.handlers }
+
+// Epoch returns the view number this primary stamps on its frames.
+func (p *Primary) Epoch() uint64 { return p.epoch }
 
 func (p *Primary) heartbeatLoop() {
 	defer close(p.hbDone)
@@ -216,7 +244,8 @@ func (p *Primary) sendFrame(payload []byte, ackWanted bool) (uint64, error) {
 	}
 	p.frameSeq++
 	seq := p.frameSeq
-	p.frameBuf = wire.AppendFrame(p.frameBuf[:0], &wire.Frame{Seq: seq, AckWanted: ackWanted, Payload: payload})
+	p.lastSent.Store(seq)
+	p.frameBuf = wire.AppendFrame(p.frameBuf[:0], &wire.Frame{Seq: seq, Epoch: p.epoch, AckWanted: ackWanted, Payload: payload})
 	b := p.frameBuf
 	t0 := p.clk.Now()
 	err := p.ep.Send(b)
@@ -262,6 +291,14 @@ func (p *Primary) flush(ack bool) error {
 // awaitAck blocks until the backup acknowledges wantSeq or AckTimeout
 // expires. Stale acknowledgements (duplicate frames re-acked by the backup,
 // or late acks from an earlier commit) are skipped, not treated as failures.
+//
+// Two classes of ack end the wait with ErrProtocolDesync instead: bytes that
+// do not decode as an ack, and an ack whose sequence exceeds the highest
+// frame this primary ever sent. Both mean the channel (or a foreign sender
+// on it) is fabricating acknowledgements — trusting any later ack for output
+// commit would be unsound, so the backup is declared lost on the spot.
+// Acks stamped with a different epoch are from another view's configuration
+// and are skipped without prejudice (a late ack from before a takeover).
 func (p *Primary) awaitAck(wantSeq uint64) error {
 	var deadline time.Time
 	if p.ackTimeout > 0 {
@@ -288,9 +325,24 @@ func (p *Primary) awaitAck(wantSeq uint64) error {
 			}
 			return fmt.Errorf("await ack %d: %w", wantSeq, err)
 		}
-		seq, err := wire.DecodeAck(msg)
+		epoch, seq, err := wire.DecodeAck(msg)
 		if err != nil {
-			return err
+			p.metrics.desyncs.Add(1)
+			p.markBackupLost()
+			return fmt.Errorf("await ack %d: undecodable ack: %w: %w: %w", wantSeq, ErrProtocolDesync, ErrBackupLost, err)
+		}
+		if epoch != p.epoch {
+			// Another view's acknowledgement (a deposed backup's late ack, or
+			// a new configuration this primary is no longer part of). It can
+			// not commit anything in this epoch; keep waiting for ours.
+			p.metrics.staleAcks.Add(1)
+			continue
+		}
+		if seq > p.lastSent.Load() {
+			p.metrics.desyncs.Add(1)
+			p.markBackupLost()
+			return fmt.Errorf("await ack %d: ack names frame %d, never sent (last %d): %w: %w",
+				wantSeq, seq, p.lastSent.Load(), ErrProtocolDesync, ErrBackupLost)
 		}
 		if seq >= wantSeq {
 			return nil
@@ -433,24 +485,8 @@ func (p *Primary) NativeReady(*vm.VM, *vm.Thread, *native.Def) bool { return tru
 // DegradeOnBackupLoss the primary performs the output exactly once and
 // continues unreplicated.
 func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []heap.Value) ([]heap.Value, error) {
-	if def.Output && !p.backupLost.Load() {
-		if p.mode == ModeLockInterval {
-			if err := p.squelch(p.closeInterval()); err != nil {
-				return nil, err
-			}
-		}
-		seq := t.OutSeq
-		if def.UsesOutputSeq {
-			seq++
-		}
-		intent := &wire.OutputIntent{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, OutSeq: seq}
-		if err := p.squelch(p.append(intent)); err != nil {
-			return nil, err
-		}
-		p.metrics.outputIntents.Add(1)
-		// "On performing an output, the primary waits until the backup
-		// acknowledges having logged all events up to the output event."
-		if err := p.squelch(p.flush(true)); err != nil {
+	if def.Output {
+		if err := p.CommitOutput(t, def); err != nil {
 			return nil, err
 		}
 	}
@@ -458,25 +494,104 @@ func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []h
 	if err != nil {
 		return nil, err
 	}
-	if def.NonDeterministic && !p.backupLost.Load() {
-		wv, err := toWire(v.Heap(), results)
-		if err != nil {
-			return nil, fmt.Errorf("log %s: %w", def.Sig, err)
-		}
-		rec := &wire.NativeResult{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, Results: wv}
-		if h := p.handlers.ForDef(def); h != nil {
-			data, err := h.Log(sehandler.Ctx{Heap: v.Heap(), Env: v.Environment(), Proc: v.Process()}, def, args, results)
-			if err != nil {
-				return nil, fmt.Errorf("handler log %s: %w", def.Sig, err)
-			}
-			rec.HandlerData = data
-		}
-		if err := p.squelch(p.append(rec)); err != nil {
+	if def.NonDeterministic {
+		if err := p.LogNativeResult(v, t, def, args, results); err != nil {
 			return nil, err
 		}
-		p.metrics.nativeRecords.Add(1)
 	}
 	return results, nil
+}
+
+// CommitOutput logs an output intent for the invocation t is about to
+// perform and runs the output commit: the log is flushed and the call blocks
+// until the backup acknowledges having logged everything up to the intent.
+// It is the first half of the primary's output path, exposed so a promoted
+// backup replaying toward its own new backup (the state-transfer tail) can
+// commit the log's uncertain final output against the new configuration
+// before re-deciding whether to perform it.
+func (p *Primary) CommitOutput(t *vm.Thread, def *native.Def) error {
+	if p.backupLost.Load() {
+		return nil // degraded (or aborting): outputs proceed uncommitted
+	}
+	if p.mode == ModeLockInterval {
+		if err := p.squelch(p.closeInterval()); err != nil {
+			return err
+		}
+	}
+	seq := t.OutSeq
+	if def.UsesOutputSeq {
+		seq++
+	}
+	intent := &wire.OutputIntent{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, OutSeq: seq}
+	if err := p.squelch(p.append(intent)); err != nil {
+		return err
+	}
+	p.metrics.outputIntents.Add(1)
+	// "On performing an output, the primary waits until the backup
+	// acknowledges having logged all events up to the output event."
+	return p.squelch(p.flush(true))
+}
+
+// LogNativeResult logs the results (and managing-handler state) of a
+// non-deterministic native the caller just invoked — the second half of the
+// primary's output path, reusable by the promotion tail for natives that go
+// live during replay.
+func (p *Primary) LogNativeResult(v *vm.VM, t *vm.Thread, def *native.Def, args, results []heap.Value) error {
+	if p.backupLost.Load() {
+		return nil
+	}
+	wv, err := toWire(v.Heap(), results)
+	if err != nil {
+		return fmt.Errorf("log %s: %w", def.Sig, err)
+	}
+	rec := &wire.NativeResult{TID: t.VTID, NatSeq: t.NatSeq, Sig: def.Sig, Results: wv}
+	if h := p.handlers.ForDef(def); h != nil {
+		data, err := h.Log(sehandler.Ctx{Heap: v.Heap(), Env: v.Environment(), Proc: v.Process()}, def, args, results)
+		if err != nil {
+			return fmt.Errorf("handler log %s: %w", def.Sig, err)
+		}
+		rec.HandlerData = data
+	}
+	if err := p.squelch(p.append(rec)); err != nil {
+		return err
+	}
+	p.metrics.nativeRecords.Add(1)
+	return nil
+}
+
+// LogIDMap logs an id-map record for a lock id the caller (a replay
+// coordinator running past its log) just assigned, keeping the primary's own
+// lid counter ahead of every externally minted id. No-op outside lock mode —
+// interval mode derives acquisition order without id maps.
+func (p *Primary) LogIDMap(t *vm.Thread, lid int64) error {
+	if lid > p.lidCounter {
+		p.lidCounter = lid
+	}
+	if p.mode != ModeLock {
+		return nil
+	}
+	p.recIDMap = wire.IDMap{LID: lid, TID: t.VTID, TASN: t.TASN}
+	err := p.appendTimed(&p.recIDMap, true)
+	p.metrics.idMapRecords.Add(1)
+	return p.squelch(err)
+}
+
+// ShipSnapshot transfers a recovered log prefix to the backup as ordinary
+// log records and blocks until the backup acknowledges the whole batch (the
+// state-transfer handshake: a recruit holds the promoted primary's complete
+// history before it may count for output commit). The caller pre-filters
+// records that must not be re-shipped (halt markers, heartbeats, and the
+// trailing uncertain output intent, which the replay re-commits itself).
+func (p *Primary) ShipSnapshot(records []wire.Record) error {
+	for _, r := range records {
+		if err := p.append(r); err != nil {
+			return fmt.Errorf("snapshot transfer: %w", err)
+		}
+	}
+	if err := p.flush(true); err != nil {
+		return fmt.Errorf("snapshot transfer: %w", err)
+	}
+	return nil
 }
 
 // Poll implements vm.Coordinator.

@@ -26,6 +26,12 @@ type schedReplay struct {
 	livePolicy vm.SchedPolicy
 	lidNext    int64
 	strict     bool
+	tail       *Primary // promotion: live events tee to the new backup
+	// pendingSwitch suppresses one tail tee: consuming the final switch
+	// record leaves idx == len(switches), but the VM's OnDescheduled call for
+	// that very switch arrives *after* PickNext consumed it — the record is
+	// already in the snapshot and must not be logged twice.
+	pendingSwitch bool
 
 	// Replayed counts consumed switch records.
 	Replayed uint64
@@ -76,6 +82,9 @@ func (c *schedReplay) PickNext(v *vm.VM, runnable []*vm.Thread, cur *vm.Thread) 
 			c.idx++
 			c.Replayed++
 			c.expect = head.NextTID
+			if c.tail != nil && c.idx == len(c.a.switches) && !c.a.open {
+				c.pendingSwitch = true
+			}
 		default:
 			if t.State() == vm.StateGated && c.a.open {
 				// Waiting for a native record (warm backup): idle.
@@ -145,8 +154,19 @@ func (c *schedReplay) verifySwitch(t *vm.Thread, rec *wire.Switch) error {
 	return nil
 }
 
-// OnDescheduled implements vm.Coordinator.
-func (c *schedReplay) OnDescheduled(*vm.VM, *vm.Thread, *vm.Thread) error { return nil }
+// OnDescheduled implements vm.Coordinator: replayed switches are already in
+// the log; once the chain is drained, every further deschedule is a fresh
+// scheduling decision the new backup (if any) must learn about.
+func (c *schedReplay) OnDescheduled(v *vm.VM, prev, next *vm.Thread) error {
+	if c.tail == nil || c.idx < len(c.a.switches) || c.a.open {
+		return nil
+	}
+	if c.pendingSwitch {
+		c.pendingSwitch = false
+		return nil
+	}
+	return c.tail.OnDescheduled(v, prev, next)
+}
 
 // BeforeAcquire implements vm.Coordinator: under identical scheduling the
 // acquisition order reproduces itself; no gating needed (R4B).
@@ -189,4 +209,9 @@ func (c *schedReplay) Poll(v *vm.VM) (bool, error) {
 func (c *schedReplay) OnIdle(*vm.VM) (bool, error) { return false, nil }
 
 // OnHalt implements vm.Coordinator.
-func (c *schedReplay) OnHalt(*vm.VM, error) error { return nil }
+func (c *schedReplay) OnHalt(v *vm.VM, runErr error) error {
+	if c.tail != nil {
+		return c.tail.OnHalt(v, runErr)
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ type WarmBackup struct {
 	handlers *sehandler.Set
 	natives  *native.Registry
 	timeout  time.Duration
+	epoch    uint64
 	clk      clock.Clock
 
 	feed  *warmFeed
@@ -203,6 +204,7 @@ func NewWarmBackup(cfg BackupConfig) (*WarmBackup, error) {
 		handlers: h,
 		natives:  reg,
 		timeout:  cfg.FailureTimeout,
+		epoch:    cfg.Epoch,
 		clk:      clk,
 		feed:     newWarmFeed(h, clk),
 	}, nil
@@ -354,10 +356,20 @@ func (w *WarmBackup) serve() (ServeOutcome, error) {
 			w.stats.CorruptFrames++
 			return OutcomePrimaryFailed, nil
 		}
+		if frame.Epoch < w.epoch {
+			// Deposed primary's traffic: drop without acking (see
+			// Backup.Serve — an ack would commit outputs against a
+			// configuration that has moved on).
+			w.stats.StaleEpochs++
+			continue
+		}
+		if frame.Epoch > w.epoch {
+			return OutcomePrimaryFailed, nil
+		}
 		if dup, gap := gate.Admit(frame.Seq); dup {
 			w.stats.DuplicateFrames++
 			if frame.AckWanted {
-				if err := w.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+				if err := w.ep.Send(wire.EncodeAck(w.epoch, frame.Seq)); err != nil {
 					return OutcomePrimaryFailed, nil
 				}
 				w.stats.AcksSent++
@@ -397,7 +409,7 @@ func (w *WarmBackup) serve() (ServeOutcome, error) {
 			return 0, err
 		}
 		if frame.AckWanted {
-			if err := w.ep.Send(wire.EncodeAck(frame.Seq)); err != nil {
+			if err := w.ep.Send(wire.EncodeAck(w.epoch, frame.Seq)); err != nil {
 				if errors.Is(err, transport.ErrClosed) {
 					return OutcomePrimaryFailed, nil
 				}

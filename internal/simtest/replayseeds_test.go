@@ -58,6 +58,14 @@ var replaySeeds = []struct {
 		"prog=4,size=small,mode=lock,kill=0,deliver=0,fault=dup-send@2,net=1,reorder=1/8",
 	},
 	{
+		// This PR: ack-loop desync — the primary's first awaited ack arrives
+		// with a flipped byte and a garbage tail. The old `seq >= wantSeq`
+		// loop could let a mangled ack satisfy an output commit; the fixed
+		// loop aborts with ErrProtocolDesync and the backup takes over.
+		"corrupt ack trips the desync guard",
+		"prog=3,size=small,mode=lock,kill=0,deliver=0,fault=corrupt-recv@1,net=5,reorder=1/8",
+	},
+	{
 		// Reorder stress: with every other message skipping the FIFO
 		// clamp the backup sees heavy out-of-order delivery; the SeqGate
 		// must sort real gaps from mere reordering.

@@ -38,6 +38,12 @@ const (
 	// FaultPartitionRecv cuts the incoming direction from the Nth receive on:
 	// receives see only silence (timeout) while sends still flow.
 	FaultPartitionRecv
+	// FaultCorruptRecv garbles the Nth received message: a seeded byte is
+	// flipped and seeded garbage appended, modeling in-flight mangling the
+	// transport checksum missed. The receiver's decoder must reject it (a
+	// corrupt ack satisfying an output commit was a real bug — see
+	// wire.DecodeAck).
+	FaultCorruptRecv
 )
 
 func (k FaultKind) String() string {
@@ -60,6 +66,8 @@ func (k FaultKind) String() string {
 		return "partition-send"
 	case FaultPartitionRecv:
 		return "partition-recv"
+	case FaultCorruptRecv:
+		return "corrupt-recv"
 	default:
 		return "invalid"
 	}
@@ -201,6 +209,25 @@ func (f *Faulty) Recv(timeout time.Duration) ([]byte, error) {
 		f.mu.Unlock()
 		_ = f.inner.Close()
 		return nil, ErrClosed
+	}
+	if f.plan.Kind == FaultCorruptRecv && n == f.plan.At {
+		f.stats.Injected++
+		flip := byte(1 + f.rng.Intn(255))
+		tail := byte(f.rng.Intn(256))
+		f.mu.Unlock()
+		msg, err := f.inner.Recv(timeout)
+		if err != nil {
+			return msg, err
+		}
+		// Mangle a copy: flip one seeded byte and append a garbage byte, so
+		// both "wrong value" and "trailing bytes" decoder paths are hit.
+		bad := make([]byte, len(msg)+1)
+		copy(bad, msg)
+		if len(msg) > 0 {
+			bad[len(msg)/2] ^= flip
+		}
+		bad[len(msg)] = tail
+		return bad, nil
 	}
 	f.mu.Unlock()
 	return f.inner.Recv(timeout)

@@ -1,0 +1,298 @@
+// Package viewsvc tracks replica-set membership as a sequence of numbered
+// views and decides who replaces whom when a replica dies. A view names one
+// primary and (when a node is available) one backup; every configuration
+// change — primary failure, backup failure, recruitment — advances the view
+// number, and the number doubles as the replication epoch stamped on every
+// wire frame (see internal/replication): receivers reject traffic from older
+// epochs, which is what closes the split-brain window where a deposed primary
+// and its successor both believe their outputs commit.
+//
+// The service is deliberately not itself replicated — in the paper's
+// deployment (§2) the pair runs under an external management layer; here the
+// service plays that layer for the simulation harness and tests. It is fully
+// clock-injected: failure detection reads the injected clock.Clock, so whole
+// cluster lifetimes replay deterministically under a virtual clock.
+package viewsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simtest/clock"
+)
+
+// Errors returned by the promotion guard and membership calls.
+var (
+	// ErrUnknownNode: the named node never joined.
+	ErrUnknownNode = errors.New("viewsvc: unknown node")
+	// ErrStaleView: the caller is acting on a view that has been superseded
+	// (e.g. acquiring a promotion for view 2 when the service is at view 3).
+	ErrStaleView = errors.New("viewsvc: view superseded")
+	// ErrNotPrimary: the caller is not the primary of the view it names, so
+	// it has no business taking over.
+	ErrNotPrimary = errors.New("viewsvc: node is not the primary of this view")
+	// ErrAlreadyPromoted: the view's promotion was already acquired — a
+	// second concurrent takeover must not also count for output commit.
+	ErrAlreadyPromoted = errors.New("viewsvc: promotion already acquired for this view")
+	// ErrDead: the node was declared failed; dead nodes cannot act.
+	ErrDead = errors.New("viewsvc: node is declared dead")
+)
+
+// View is one replica-set configuration. Num is the epoch: strictly
+// increasing, never reused. Backup is empty when no idle node was available
+// to recruit (the pair runs degraded until one joins).
+type View struct {
+	Num     uint64
+	Primary string
+	Backup  string
+}
+
+// Config configures the service.
+type Config struct {
+	// Clock supplies time for the failure detector (nil = wall clock).
+	Clock clock.Clock
+	// FailTimeout: a member silent for longer than this is declared dead by
+	// Tick (0 disables ping-based detection; ReportFailure still works).
+	FailTimeout time.Duration
+}
+
+type member struct {
+	name     string
+	lastPing time.Time
+	dead     bool
+}
+
+// Service is the membership tracker / view manager.
+type Service struct {
+	clk     clock.Clock
+	timeout time.Duration
+
+	mu      sync.Mutex
+	members map[string]*member
+	order   []string // join order: deterministic recruitment preference
+	view    View
+	claimed map[uint64]string // view num -> node that acquired its promotion
+	waiters []*viewWaiter
+}
+
+type viewWaiter struct {
+	num  uint64
+	slot clock.WaitSlot
+}
+
+// New builds a service with no members and view 0 (no configuration yet).
+func New(cfg Config) *Service {
+	return &Service{
+		clk:     clock.Or(cfg.Clock),
+		timeout: cfg.FailTimeout,
+		members: make(map[string]*member),
+		claimed: make(map[uint64]string),
+	}
+}
+
+// Join registers a node (idempotent; re-joining refreshes its ping). Joining
+// does not change the current view — a new node waits idle until Form or a
+// failure recruits it.
+func (s *Service) Join(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.members[name]; ok {
+		m.lastPing = s.clk.Now()
+		m.dead = false
+		return
+	}
+	s.members[name] = &member{name: name, lastPing: s.clk.Now()}
+	s.order = append(s.order, name)
+}
+
+// Form establishes view 1 from the two oldest live members (or one, running
+// degraded). It errors if no live member exists or a view is already formed.
+func (s *Service) Form() (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view.Num != 0 {
+		return s.view, fmt.Errorf("viewsvc: view %d already formed", s.view.Num)
+	}
+	pri := s.nextLiveLocked(nil)
+	if pri == "" {
+		return View{}, errors.New("viewsvc: no live members to form a view")
+	}
+	bak := s.nextLiveLocked(map[string]bool{pri: true})
+	s.installLocked(View{Num: 1, Primary: pri, Backup: bak})
+	return s.view, nil
+}
+
+// Ping records a heartbeat from name. Unknown nodes are ignored (a deposed
+// node's stray ping must not resurrect it under a new identity).
+func (s *Service) Ping(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.members[name]; ok && !m.dead {
+		m.lastPing = s.clk.Now()
+	}
+}
+
+// Tick runs the ping-based failure detector once: members silent for longer
+// than FailTimeout are declared dead, and the view advances if one of them
+// held a seat. It returns the (possibly new) current view. Call it from a
+// periodic loop (see Watch) or explicitly in deterministic tests.
+func (s *Service) Tick() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.timeout <= 0 {
+		return s.view
+	}
+	now := s.clk.Now()
+	for _, name := range s.order {
+		m := s.members[name]
+		if !m.dead && now.Sub(m.lastPing) > s.timeout {
+			m.dead = true
+			s.reseatLocked(name)
+		}
+	}
+	return s.view
+}
+
+// ReportFailure lets a replica surface a failure its own detector found (a
+// closed transport, heartbeat silence on the replication channel): dead is
+// declared failed immediately and the view advances if it held a seat. The
+// reporter must be a live member — a node that was itself deposed cannot vote
+// its successor dead.
+func (s *Service) ReportFailure(reporter, dead string) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.members[reporter]
+	if !ok {
+		return s.view, fmt.Errorf("%w: %s", ErrUnknownNode, reporter)
+	}
+	if r.dead {
+		return s.view, fmt.Errorf("%w: %s", ErrDead, reporter)
+	}
+	m, ok := s.members[dead]
+	if !ok {
+		return s.view, fmt.Errorf("%w: %s", ErrUnknownNode, dead)
+	}
+	if !m.dead {
+		m.dead = true
+		s.reseatLocked(dead)
+	}
+	return s.view, nil
+}
+
+// View returns the current view.
+func (s *Service) View() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// WaitView blocks until the view number reaches at least num and returns the
+// view that got it there. Each caller parks on its own clock wait slot, so
+// the wait is visible to a virtual clock.
+func (s *Service) WaitView(num uint64) View {
+	s.mu.Lock()
+	if s.view.Num >= num {
+		v := s.view
+		s.mu.Unlock()
+		return v
+	}
+	w := &viewWaiter{num: num, slot: s.clk.NewWaitSlot()}
+	s.waiters = append(s.waiters, w)
+	for s.view.Num < num {
+		s.mu.Unlock()
+		w.slot.Park(0)
+		s.mu.Lock()
+	}
+	v := s.view
+	s.mu.Unlock()
+	return v
+}
+
+// AcquirePromotion is the takeover guard: the primary of view num calls it
+// before it starts counting outputs as committed in that view. Exactly one
+// acquisition per view succeeds — a second takeover attempt (the double-
+// takeover race: two replicas both concluding they should lead) gets
+// ErrAlreadyPromoted instead of a second license to commit. Acting on a
+// superseded view is ErrStaleView; acting from the wrong seat is
+// ErrNotPrimary. Acquiring the same view twice *from the same node* is also
+// an error: promotion is an edge, not a state, and a caller that lost track
+// must rejoin the protocol rather than re-commit.
+func (s *Service) AcquirePromotion(node string, num uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[node]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, node)
+	}
+	if m.dead {
+		return fmt.Errorf("%w: %s", ErrDead, node)
+	}
+	if num != s.view.Num {
+		return fmt.Errorf("%w: acquiring view %d, current is %d", ErrStaleView, num, s.view.Num)
+	}
+	if s.view.Primary != node {
+		return fmt.Errorf("%w: %s acquiring view %d led by %s", ErrNotPrimary, node, num, s.view.Primary)
+	}
+	if by, dup := s.claimed[num]; dup {
+		return fmt.Errorf("%w: view %d already acquired by %s", ErrAlreadyPromoted, num, by)
+	}
+	s.claimed[num] = node
+	return nil
+}
+
+// reseatLocked advances the view after name died, if it held a seat: a dead
+// primary is replaced by the backup (promotion), a dead backup by a recruited
+// idle node. Either way the epoch moves, so the old configuration's frames
+// and acks become rejectable everywhere.
+func (s *Service) reseatLocked(name string) {
+	v := s.view
+	if v.Num == 0 || (name != v.Primary && name != v.Backup) {
+		return
+	}
+	taken := map[string]bool{name: true}
+	next := View{Num: v.Num + 1}
+	if name == v.Primary {
+		next.Primary = v.Backup
+	} else {
+		next.Primary = v.Primary
+	}
+	if next.Primary == "" {
+		// The primary died with no backup to promote: the replica set is
+		// gone. Record the terminal, empty view so waiters still wake.
+		s.installLocked(next)
+		return
+	}
+	taken[next.Primary] = true
+	next.Backup = s.nextLiveLocked(taken)
+	s.installLocked(next)
+}
+
+// nextLiveLocked returns the oldest-joined live member not in taken ("" if
+// none) — deterministic recruitment order.
+func (s *Service) nextLiveLocked(taken map[string]bool) string {
+	for _, name := range s.order {
+		if taken[name] {
+			continue
+		}
+		if m := s.members[name]; !m.dead {
+			return name
+		}
+	}
+	return ""
+}
+
+// installLocked publishes a new view and wakes satisfied waiters.
+func (s *Service) installLocked(v View) {
+	s.view = v
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if v.Num >= w.num {
+			w.slot.Signal()
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
+}

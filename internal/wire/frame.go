@@ -7,9 +7,15 @@ import (
 
 // Frame is a batch of encoded records shipped primary→backup. AckWanted is
 // set on output-commit flushes: the primary blocks until the backup
-// acknowledges Seq (the pessimism of §3.4).
+// acknowledges Seq (the pessimism of §3.4). Epoch is the view number the
+// sender believes it is primary of: a receiver in a later view drops the
+// frame without acknowledging it, so a deposed primary that missed its own
+// failure detection (a healed partition, a slow process) can never satisfy
+// an output commit against the new configuration — the split-brain window
+// the view service closes.
 type Frame struct {
 	Seq       uint64
+	Epoch     uint64
 	AckWanted bool
 	Payload   []byte
 }
@@ -18,8 +24,9 @@ type Frame struct {
 // that ship many frames reuse dst across calls (append-style, like
 // strconv.AppendInt) so the steady-state frame path performs no allocation.
 func AppendFrame(dst []byte, f *Frame) []byte {
-	var hdr [2*binary.MaxVarintLen64 + 1]byte
+	var hdr [3*binary.MaxVarintLen64 + 1]byte
 	n := binary.PutUvarint(hdr[:], f.Seq)
+	n += binary.PutUvarint(hdr[n:], f.Epoch)
 	if f.AckWanted {
 		hdr[n] = 1
 	} else {
@@ -33,19 +40,30 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 
 // EncodeFrame serialises f into a fresh slice.
 func EncodeFrame(f *Frame) []byte {
-	out := make([]byte, 0, len(f.Payload)+2*binary.MaxVarintLen64+1)
+	out := make([]byte, 0, len(f.Payload)+3*binary.MaxVarintLen64+1)
 	return AppendFrame(out, f)
 }
 
-// DecodeFrame parses a frame produced by EncodeFrame.
+// DecodeFrame parses a frame produced by EncodeFrame. Trailing bytes after
+// the payload are a framing violation (a mangled length or spliced messages)
+// and reject the whole frame: a receiver that silently ignored them would
+// log a payload whose boundary the sender never chose.
 func DecodeFrame(b []byte) (*Frame, error) {
 	seq, n := binary.Uvarint(b)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: truncated frame seq", ErrBadRecord)
 	}
 	b = b[n:]
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated frame epoch", ErrBadRecord)
+	}
+	b = b[n:]
 	if len(b) < 1 {
 		return nil, fmt.Errorf("%w: truncated frame flags", ErrBadRecord)
+	}
+	if b[0] > 1 {
+		return nil, fmt.Errorf("%w: bad frame flags %#x", ErrBadRecord, b[0])
 	}
 	ackWanted := b[0] == 1
 	b = b[1:]
@@ -57,9 +75,12 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	if uint64(len(b)) < plen {
 		return nil, fmt.Errorf("%w: short frame payload (%d < %d)", ErrBadRecord, len(b), plen)
 	}
+	if uint64(len(b)) > plen {
+		return nil, fmt.Errorf("%w: %d trailing bytes after frame payload", ErrBadRecord, uint64(len(b))-plen)
+	}
 	payload := make([]byte, plen)
 	copy(payload, b[:plen])
-	return &Frame{Seq: seq, AckWanted: ackWanted, Payload: payload}, nil
+	return &Frame{Seq: seq, Epoch: epoch, AckWanted: ackWanted, Payload: payload}, nil
 }
 
 // SeqGate validates the frame sequence on the receiving side of the channel.
@@ -77,8 +98,15 @@ type SeqGate struct {
 // processed (drop it, re-ack if asked), gap means at least one frame was
 // lost before it (the channel is no longer trustworthy). A frame with
 // dup == gap == false is the expected next frame and Admit records it.
+//
+// Sequence zero is never assigned by a sender (numbering starts at 1), so a
+// frame carrying it is corrupt, not a duplicate: classifying it as harmless
+// would let a mangled header slip past the gate un-acked but also un-flagged.
+// It reports as a gap — the channel is no longer trustworthy.
 func (g *SeqGate) Admit(seq uint64) (dup, gap bool) {
 	switch {
+	case seq == 0:
+		return false, true
 	case seq <= g.last:
 		return true, false
 	case seq != g.last+1:
@@ -92,20 +120,34 @@ func (g *SeqGate) Admit(seq uint64) (dup, gap bool) {
 // Last returns the highest admitted frame sequence.
 func (g *SeqGate) Last() uint64 { return g.last }
 
-// EncodeAck serialises an acknowledgement for frame seq.
-func EncodeAck(seq uint64) []byte {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], seq)
+// EncodeAck serialises an acknowledgement for frame seq under epoch. The ack
+// echoes the receiver's epoch so a primary can discard acknowledgements from
+// a configuration it no longer (or does not yet) belong to.
+func EncodeAck(epoch, seq uint64) []byte {
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], epoch)
+	n += binary.PutUvarint(buf[n:], seq)
 	out := make([]byte, n)
 	copy(out, buf[:n])
 	return out
 }
 
-// DecodeAck parses an acknowledgement.
-func DecodeAck(b []byte) (uint64, error) {
-	seq, n := binary.Uvarint(b)
+// DecodeAck parses an acknowledgement. Trailing bytes reject the ack as
+// ErrBadRecord: an ack is exactly two varints, and extra bytes mean the
+// channel (or a foreign sender) mangled it — accepting the prefix would let
+// a corrupt ack satisfy an output commit.
+func DecodeAck(b []byte) (epoch, seq uint64, err error) {
+	epoch, n := binary.Uvarint(b)
 	if n <= 0 {
-		return 0, fmt.Errorf("%w: truncated ack", ErrBadRecord)
+		return 0, 0, fmt.Errorf("%w: truncated ack epoch", ErrBadRecord)
 	}
-	return seq, nil
+	b = b[n:]
+	seq, n = binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated ack seq", ErrBadRecord)
+	}
+	if len(b) != n {
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes after ack", ErrBadRecord, len(b)-n)
+	}
+	return epoch, seq, nil
 }

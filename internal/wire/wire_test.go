@@ -97,20 +97,41 @@ func TestDecodeGarbage(t *testing.T) {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
-	f := &Frame{Seq: 900, AckWanted: true, Payload: []byte("records")}
+	f := &Frame{Seq: 900, Epoch: 7, AckWanted: true, Payload: []byte("records")}
 	got, err := DecodeFrame(EncodeFrame(f))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Seq != 900 || !got.AckWanted || string(got.Payload) != "records" {
+	if got.Seq != 900 || got.Epoch != 7 || !got.AckWanted || string(got.Payload) != "records" {
 		t.Fatalf("frame = %+v", got)
 	}
 	if _, err := DecodeFrame([]byte{}); err == nil {
 		t.Fatal("empty frame decoded")
 	}
-	seq, err := DecodeAck(EncodeAck(12345))
-	if err != nil || seq != 12345 {
-		t.Fatalf("ack = %d (%v)", seq, err)
+	if _, err := DecodeFrame(append(EncodeFrame(f), 0xAA)); err == nil {
+		t.Fatal("frame with trailing garbage decoded")
+	}
+	epoch, seq, err := DecodeAck(EncodeAck(3, 12345))
+	if err != nil || epoch != 3 || seq != 12345 {
+		t.Fatalf("ack = (%d,%d) (%v)", epoch, seq, err)
+	}
+}
+
+// TestDecodeAckStrict: an acknowledgement is exactly two varints. A corrupt
+// ack with trailing bytes must not be accepted for its prefix — an ack
+// satisfies output commit, so leniency here is a correctness hole.
+func TestDecodeAckStrict(t *testing.T) {
+	if _, _, err := DecodeAck(nil); err == nil {
+		t.Fatal("empty ack decoded")
+	}
+	if _, _, err := DecodeAck([]byte{0x03}); err == nil {
+		t.Fatal("ack missing seq decoded")
+	}
+	if _, _, err := DecodeAck(append(EncodeAck(1, 9), 0x00)); err == nil {
+		t.Fatal("ack with trailing byte decoded")
+	}
+	if _, _, err := DecodeAck([]byte{0x80}); err == nil {
+		t.Fatal("unterminated varint decoded")
 	}
 }
 
@@ -215,5 +236,22 @@ func TestSeqGate(t *testing.T) {
 	}
 	if dup, gap := g.Admit(4); dup || gap {
 		t.Fatalf("seq 4: dup=%v gap=%v, want clean admit", dup, gap)
+	}
+}
+
+// TestSeqGateZero: sequence numbers start at 1, so a frame claiming seq 0 is
+// corrupt. Classifying it as a harmless dup (the old `seq <= last` shortcut)
+// would drop it silently and leave the gate believing the channel is fine.
+func TestSeqGateZero(t *testing.T) {
+	var g SeqGate
+	if dup, gap := g.Admit(0); dup || !gap {
+		t.Fatalf("seq 0 on fresh gate: dup=%v gap=%v, want gap", dup, gap)
+	}
+	g = SeqGate{}
+	if dup, gap := g.Admit(1); dup || gap {
+		t.Fatalf("seq 1: dup=%v gap=%v", dup, gap)
+	}
+	if dup, gap := g.Admit(0); dup || !gap {
+		t.Fatalf("seq 0 after 1: dup=%v gap=%v, want gap not dup", dup, gap)
 	}
 }

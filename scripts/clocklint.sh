@@ -18,11 +18,25 @@ cd "$(dirname "$0")/.."
 
 pattern='(^|[^.[:alnum:]_])time\.(Now|Sleep|After|AfterFunc|Since|Until|NewTimer|NewTicker|Tick)\('
 
-bad=$(find . -name '*.go' \
+files=$(find . -name '*.go' \
     ! -name '*_test.go' \
     ! -path './internal/simtest/*' \
     ! -path './cmd/*' \
-    -print | sort | xargs grep -nE "$pattern" 2>/dev/null || true)
+    -print | sort)
+
+# Self-check: the clock-sensitive packages must be in the scan set. The
+# failure detectors in replication (heartbeats, ack timeouts) and viewsvc
+# (ping-based membership) are exactly where a naked wall-clock call would
+# break determinism — if a future exemption swallowed them, this lint would
+# pass vacuously.
+for must in ./internal/replication ./internal/viewsvc; do
+    case "$files" in
+        *"$must/"*) ;;
+        *) echo "clock-lint: $must is missing from the scan set" >&2; exit 1 ;;
+    esac
+done
+
+bad=$(printf '%s\n' "$files" | xargs grep -nE "$pattern" 2>/dev/null || true)
 
 if [ -n "$bad" ]; then
     echo "clock-lint: naked wall-clock calls in library code." >&2
