@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke replay-seeds
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke replay-seeds
 
 build:
 	$(GO) build ./...
@@ -38,12 +38,22 @@ sim-smoke:
 view-smoke:
 	$(GO) run ./cmd/ftvm-sim -view -progs 2 -nets 1
 
+# Sharded-fleet smoke: the multi-tenant serving fleet under its seeded
+# open-loop load generator — kills mid-window, replication-hop faults, double
+# kills, stale-epoch probes — with every request model-checked for
+# at-most-once execution. A 100k-client run with a mid-window kill rides
+# along to exercise the scale path. Fully virtual-time.
+fleet-smoke:
+	$(GO) run ./cmd/ftvm-sim -fleet -progs 2
+	$(GO) run ./cmd/ftvm-fleet -clients 100000 -nodes 5 -shards 16 -kills n2@800ms
+
 # Replay the regression tables of historical failure classes under the
-# deterministic harness: the pair table (PR 1-3 bugs) and the view-change
-# table (epoch/promotion bugs). See internal/simtest/replayseeds_test.go and
-# viewsweep_test.go.
+# deterministic harness: the pair table (PR 1-3 bugs), the view-change
+# table (epoch/promotion bugs), and the fleet table (at-most-once /
+# state-transfer bugs). See internal/simtest/replayseeds_test.go,
+# viewsweep_test.go, and fleetsweep_test.go.
 replay-seeds:
-	$(GO) test -run 'TestReplaySeeds|TestViewReplaySeeds' -v ./internal/simtest
+	$(GO) test -run 'TestReplaySeeds|TestViewReplaySeeds|TestFleetReplaySeeds' -v ./internal/simtest
 
 # Bounded fuzzing pass: the differential smoke quota (a few hundred generated
 # programs cross-checked standalone/replicated/failover) plus a short burst of
@@ -53,7 +63,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke
+check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all

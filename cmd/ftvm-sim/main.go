@@ -11,14 +11,22 @@
 //	ftvm-sim -kills 1,2,3,5,8,13,21     # denser kill positions
 //	ftvm-sim -trace sweep.txt           # write the deterministic trace
 //	ftvm-sim -view                      # three-node view-change sweep
+//	ftvm-sim -fleet                     # sharded-fleet kill x fault sweep
 //	ftvm-sim -replay "prog=7,size=small,mode=sched,kill=12,deliver=1,fault=none@0,net=3,reorder=1/8"
 //	ftvm-sim -replay "prog=3,size=small,mode=lock,kill1=4,d1=0,kill2=1,d2=0,fault=none@0,inject=1,net=5,reorder=1/8"
+//	ftvm-sim -replay "seed=3,nodes=4,shards=8,clients=1000,ops=3,ka=3@250,kb=0@0,fault=ackdrop/13,inject=0"
 //
 // With -view the sweep runs the three-node cluster (internal/simtest's view
 // service): the first primary is killed, the promoted backup recruits the
 // idle node through a snapshot + live-tail state transfer, and schedules kill
-// the promoted primary too — the n−1 sequential-failure space. -replay
-// dispatches on the key format itself (a "kill1=" field means a view combo).
+// the promoted primary too — the n−1 sequential-failure space.
+//
+// With -fleet the sweep runs the sharded multi-tenant fleet (internal/fleet)
+// under its seeded open-loop load generator: node kills mid-window, faults on
+// the replication hop, double kills, and stale-epoch probes, with every
+// request checked for at-most-once execution against the model. -replay
+// dispatches on the key format itself (a "clients=" field means a fleet
+// combo; otherwise "kill1=" means a view combo).
 //
 // On any divergence the sweep prints the failing combo's trace line and the
 // single -replay string that reproduces it; exit status is non-zero.
@@ -54,6 +62,8 @@ func run() error {
 		tracePth = flag.String("trace", "", "write the full deterministic trace to this file")
 		verbose  = flag.Bool("v", false, "print every combo's trace line")
 		view     = flag.Bool("view", false, "sweep the three-node view-change cluster instead of the pair")
+		fleetSw  = flag.Bool("fleet", false, "sweep the sharded multi-tenant fleet instead of the pair")
+		clients  = flag.Int("clients", 1000, "clients per fleet combo (with -fleet)")
 	)
 	flag.Parse()
 
@@ -95,7 +105,14 @@ func run() error {
 		trace    []string
 		failures []string
 	)
-	if *view {
+	if *fleetSw {
+		cfg := simtest.FleetSweepConfig{Seeds: progSeeds, Clients: *clients}
+		res := simtest.RunFleetSweep(cfg, logf)
+		combos, elapsed, trace = res.Combos, res.Elapsed, res.Trace
+		for _, f := range res.Failures {
+			failures = append(failures, fmt.Sprintf("FAIL %s\n  replay: %s", f.TraceLine(), f.ReplayCommand()))
+		}
+	} else if *view {
 		cfg := simtest.ViewSweepConfig{
 			Size: size, ProgSeeds: progSeeds, NetSeeds: netSeeds, Kill1Sends: killSends,
 		}
@@ -138,6 +155,21 @@ func runReplay(key string) error {
 		err          error
 		ref, console []string
 	)
+	if simtest.IsFleetKey(key) {
+		cb, perr := simtest.ParseFleetCombo(key)
+		if perr != nil {
+			return perr
+		}
+		out := simtest.RunFleetCombo(cb)
+		fmt.Println(out.TraceLine())
+		if out.Err != nil {
+			return out.Err
+		}
+		if out.Detail != "" {
+			return fmt.Errorf("invariant failure: %s", out.Detail)
+		}
+		return nil
+	}
 	if simtest.IsViewKey(key) {
 		cb, perr := simtest.ParseViewCombo(key)
 		if perr != nil {

@@ -119,11 +119,11 @@ type Options struct {
 	NetPerMsg time.Duration
 	NetPerKB  time.Duration
 	// Clock supplies time for ack deadlines, heartbeats, kill-trigger
-	// polling, and elapsed measurements (nil = wall clock). The
-	// deterministic simulation harness (internal/simtest) injects a virtual
-	// clock; callers doing so must invoke the run functions from a
-	// clock-attached goroutine and supply a clock-driven transport via Env
-	// and endpoint wiring of their own.
+	// polling, transport waits, and elapsed measurements (nil = wall
+	// clock). The in-process pipe is built on this clock too, so a caller
+	// injecting a virtual clock (the internal/simtest harness) gets a fully
+	// simulated run; such callers must invoke the run functions from a
+	// clock-attached goroutine.
 	Clock clock.Clock
 }
 
@@ -148,9 +148,11 @@ func (o *Options) fill() {
 func (o *Options) clock() clock.Clock { return clock.Or(o.Clock) }
 
 // newPipe builds the primary/backup endpoints, wrapping the primary side
-// with the simulated network cost when configured.
+// with the simulated network cost when configured. The pipe itself runs on
+// o.Clock, so under a virtual clock the whole replicated run — including
+// transport waits and Recv timeouts — advances in simulated time.
 func (o *Options) newPipe() (transport.Endpoint, transport.Endpoint) {
-	pEnd, bEnd := transport.Pipe(o.PipeCapacity)
+	pEnd, bEnd := transport.PipeClock(o.PipeCapacity, o.Clock)
 	if o.NetPerMsg > 0 || o.NetPerKB > 0 {
 		return transport.WithLatencyClock(pEnd, o.NetPerMsg, o.NetPerKB, o.Clock),
 			transport.WithLatencyClock(bEnd, o.NetPerMsg, o.NetPerKB, o.Clock)

@@ -1,0 +1,537 @@
+// Package fleet scales the single replicated-VM pair out to a sharded,
+// multi-tenant serving fleet with an at-most-once client protocol.
+//
+// Tenants are lightweight deterministic state machines (an int64 accumulator
+// per tenant: get/add/set), partitioned across shards by tenant id. Every
+// shard is a primary/backup pair seated by a viewsvc.ShardDirectory, and the
+// pair replicates exactly the way the full VM pair does: the primary encodes
+// each executed operation as a wire.ClientOp record, ships it in a real
+// wire.Frame (epoch-stamped, sequence-numbered, ack-wanted) to the backup,
+// and counts the operation committed — eligible to answer the client — only
+// after the backup's ack returns under the current epoch. The backup keeps
+// the encoded log without applying it; promotion replays the log to rebuild
+// both the tenant state and the dedup table, so at-most-once survives
+// failover for free: a client retrying across a primary kill hits the dedup
+// entry the replay reconstructed and receives the original result without
+// re-execution.
+//
+// Frame shipping is stop-and-wait per operation: the primary retransmits an
+// unacknowledged operation under the same sequence number, so a dropped
+// frame is repaired by the retry and a dropped ack classifies as a duplicate
+// at the backup's SeqGate (re-acked, not re-logged). The log therefore never
+// holds two copies of one (client, req) — though replay still guards against
+// duplicates, because the guard is the same dedup check the live path uses.
+//
+// Everything is clock-injected; under a virtual clock a whole fleet run —
+// including node kills, promotions, recruitment state transfer, and the
+// load generator in fleet/loadgen — is a pure function of (config, seed).
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simtest/clock"
+	"repro/internal/viewsvc"
+	"repro/internal/wire"
+)
+
+// Fault kinds injected on the replication hop. Faults strike every
+// Config.FaultEvery-th replication attempt, deterministically.
+const (
+	FaultNone      = "none"
+	FaultFrameDrop = "framedrop" // frame lost: backup never logs, primary times out
+	FaultAckDrop   = "ackdrop"   // backup logs, ack lost: primary times out uncommitted
+	FaultReplyDrop = "replydrop" // committed, but the reply to the client is lost
+)
+
+// FaultKinds lists every valid Config.Fault value.
+var FaultKinds = []string{FaultNone, FaultFrameDrop, FaultAckDrop, FaultReplyDrop}
+
+// Config describes a fleet.
+type Config struct {
+	Clock  clock.Clock
+	Nodes  []string // node names, join order; need >= 2
+	Shards int      // shard count; tenant t lives on shard t % Shards
+	// Fault and FaultEvery inject one fault kind on every FaultEvery-th
+	// replication attempt (0 = no faults).
+	Fault      string
+	FaultEvery uint64
+
+	// Simulated costs. Zero fields take the defaults below.
+	NetDelay     time.Duration // one-way client <-> node
+	RepDelay     time.Duration // one-way primary <-> backup
+	OpCost       time.Duration // executing one tenant op
+	AckTimeout   time.Duration // primary gives up waiting for an ack
+	PromoteBase  time.Duration // fixed promotion cost on takeover
+	PromotePerOp time.Duration // per logged record replay cost on takeover
+}
+
+func (c *Config) fill() {
+	if c.NetDelay == 0 {
+		c.NetDelay = 200 * time.Microsecond
+	}
+	if c.RepDelay == 0 {
+		c.RepDelay = 100 * time.Microsecond
+	}
+	if c.OpCost == 0 {
+		c.OpCost = 10 * time.Microsecond
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 10 * time.Millisecond
+	}
+	if c.PromoteBase == 0 {
+		c.PromoteBase = 2 * time.Millisecond
+	}
+	if c.PromotePerOp == 0 {
+		c.PromotePerOp = time.Microsecond
+	}
+	if c.Fault == "" {
+		c.Fault = FaultNone
+	}
+}
+
+// Counters aggregates fleet-side event counts; every field is deterministic
+// under a virtual clock.
+type Counters struct {
+	Executed      uint64 // operations applied to tenant state (first executions)
+	DupHits       uint64 // requests answered from the dedup table
+	Resent        uint64 // stop-and-wait retransmissions of an uncommitted op
+	FramesDropped uint64
+	AcksDropped   uint64
+	RepliesLost   uint64
+	StaleFrames   uint64 // frames rejected by the backup's epoch gate
+	Promotions    uint64
+	Transfers     uint64 // recruit state transfers
+}
+
+// Outcome reports one Submit call.
+type Outcome struct {
+	// Reply is nil when the client observes silence (dead node, lost frame
+	// or ack, lost reply) and must retry after its timeout.
+	Reply *wire.Reply
+	// Cost is the simulated latency until the client observes the reply —
+	// or, with a nil Reply, until the primary gave up (the client's own
+	// timeout still applies on top).
+	Cost time.Duration
+}
+
+// Fleet is a set of nodes hosting shard replica pairs.
+type Fleet struct {
+	cfg        Config
+	clk        clock.Clock
+	dir        *viewsvc.ShardDirectory
+	nodes      map[string]*Node
+	order      []string
+	repAttempt uint64 // replication attempts, for deterministic fault striking
+	counters   Counters
+}
+
+// Node hosts one replica per shard it is seated on.
+type Node struct {
+	Name     string
+	Alive    bool
+	replicas map[int]*replica
+}
+
+// New builds a fleet: every node joins the directory, shards form round-robin,
+// and each shard's pair of replicas is seeded empty under the formation epoch.
+func New(cfg Config) (*Fleet, error) {
+	cfg.fill()
+	validFault := false
+	for _, k := range FaultKinds {
+		if cfg.Fault == k {
+			validFault = true
+		}
+	}
+	if !validFault {
+		return nil, fmt.Errorf("fleet: unknown fault kind %q", cfg.Fault)
+	}
+	if len(cfg.Nodes) < 2 {
+		return nil, fmt.Errorf("fleet: need >= 2 nodes, have %d", len(cfg.Nodes))
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: need >= 1 shard")
+	}
+	clk := clock.Or(cfg.Clock)
+	f := &Fleet{
+		cfg:   cfg,
+		clk:   clk,
+		dir:   viewsvc.NewShardDirectory(viewsvc.Config{Clock: clk}),
+		nodes: make(map[string]*Node, len(cfg.Nodes)),
+	}
+	for _, name := range cfg.Nodes {
+		f.dir.Join(name)
+		f.nodes[name] = &Node{Name: name, Alive: true, replicas: make(map[int]*replica)}
+		f.order = append(f.order, name)
+	}
+	views, err := f.dir.Form(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range views {
+		pri := newReplica(i, v.Num, rolePrimary)
+		bak := newReplica(i, v.Num, roleBackup)
+		pri.peer, bak.peer = bak, pri
+		f.nodes[v.Primary].replicas[i] = pri
+		f.nodes[v.Backup].replicas[i] = bak
+	}
+	return f, nil
+}
+
+// NumShards returns the shard count.
+func (f *Fleet) NumShards() int { return f.cfg.Shards }
+
+// Nodes returns the node names in join order.
+func (f *Fleet) Nodes() []string { return append([]string(nil), f.order...) }
+
+// Counters returns a snapshot of the fleet-side counters.
+func (f *Fleet) Counters() Counters { return f.counters }
+
+// Shard returns shard i's current view (the router's lookup).
+func (f *Fleet) Shard(i int) viewsvc.View { return f.dir.Shard(i) }
+
+// ShardOf maps a tenant to its shard.
+func (f *Fleet) ShardOf(tenant uint64) int { return int(tenant % uint64(f.cfg.Shards)) }
+
+// Route returns the node currently seated primary for tenant's shard, with
+// the epoch the client should expect on replies.
+func (f *Fleet) Route(tenant uint64) (node string, shard int, epoch uint64) {
+	shard = f.ShardOf(tenant)
+	v := f.dir.Shard(shard)
+	return v.Primary, shard, v.Num
+}
+
+// Submit delivers one client request to node `to` and runs it to its outcome.
+// The request executes atomically at the current virtual instant; Outcome.Cost
+// is the latency the client observes. A nil Outcome.Reply is silence — the
+// addressed node is dead, the shard's replication stalled on a fault, or the
+// reply itself was lost — and the client must retry the same request id.
+func (f *Fleet) Submit(req *wire.Request) Outcome {
+	return f.SubmitTo(req, "")
+}
+
+// SubmitTo is Submit with an explicit destination node ("" routes to the
+// current primary). Sending to a stale primary exercises the NotOwner path.
+func (f *Fleet) SubmitTo(req *wire.Request, to string) Outcome {
+	shard := f.ShardOf(req.Tenant)
+	view := f.dir.Shard(shard)
+	if to == "" {
+		to = view.Primary
+	}
+	rtt := 2 * f.cfg.NetDelay
+	n := f.nodes[to]
+	if n == nil || !n.Alive {
+		// Dead or unknown node: silence.
+		return Outcome{Cost: f.cfg.NetDelay + f.cfg.AckTimeout}
+	}
+	r := n.replicas[shard]
+	if r == nil || r.role != rolePrimary || view.Primary != to {
+		return Outcome{
+			Reply: &wire.Reply{Client: req.Client, Req: req.Req, Status: wire.StatusNotOwner, Epoch: view.Num},
+			Cost:  rtt,
+		}
+	}
+	if f.clk.Now().Before(r.availableAt) {
+		// Mid-promotion: the replica exists but is still replaying its log.
+		return Outcome{
+			Reply: &wire.Reply{Client: req.Client, Req: req.Req, Status: wire.StatusUnavailable, Epoch: view.Num},
+			Cost:  rtt,
+		}
+	}
+	return f.serve(r, req, rtt)
+}
+
+// serve runs the primary-side protocol: dedup, execute, replicate, reply.
+func (f *Fleet) serve(r *replica, req *wire.Request, rtt time.Duration) Outcome {
+	if req.Op >= wire.OpKinds() {
+		return Outcome{
+			Reply: &wire.Reply{Client: req.Client, Req: req.Req, Status: wire.StatusStaleReq, Epoch: r.epoch},
+			Cost:  rtt,
+		}
+	}
+	ent := r.dedup[req.Client]
+	switch {
+	case ent != nil && req.Req < ent.req:
+		// A request id below the client's high-water mark: the client moved
+		// on; the old result is gone. Well-behaved clients never do this.
+		return Outcome{
+			Reply: &wire.Reply{Client: req.Client, Req: req.Req, Status: wire.StatusStaleReq, Epoch: r.epoch},
+			Cost:  rtt,
+		}
+	case ent != nil && req.Req == ent.req:
+		f.counters.DupHits++
+		if !ent.committed {
+			// Executed and logged locally, but never acknowledged: the
+			// output-commit rule forbids replying until the backup holds it.
+			// Retransmit under the same sequence number (stop-and-wait).
+			if !f.flushPending(r) {
+				return Outcome{Cost: f.cfg.NetDelay + f.cfg.AckTimeout}
+			}
+			return Outcome{Reply: f.reply(r, req, ent), Cost: rtt + 2*f.cfg.RepDelay}
+		}
+		return Outcome{Reply: f.reply(r, req, ent), Cost: rtt}
+	}
+	// Head-of-line: an earlier op is still unacknowledged. Its effect is in
+	// the live state, so nothing later may reach the log before it — flush
+	// it or stall the shard (the client retries into the repaired channel).
+	if r.pending != nil && !f.flushPending(r) {
+		return Outcome{Cost: f.cfg.NetDelay + f.cfg.AckTimeout}
+	}
+	// Fresh request: execute, log, replicate, then reply.
+	result := apply(r.state, req.Tenant, req.Op, req.Arg)
+	rec := &wire.ClientOp{Client: req.Client, Req: req.Req, Tenant: req.Tenant, Op: req.Op, Arg: req.Arg, Result: result}
+	f.counters.Executed++
+	ent = &dedupEntry{req: req.Req, result: result, rec: rec}
+	r.dedup[req.Client] = ent
+	r.appendLog(rec)
+	cost, ok := f.replicate(r, rec, true)
+	if !ok {
+		r.pending = ent
+		return Outcome{Cost: f.cfg.NetDelay + cost}
+	}
+	ent.committed = true
+	return Outcome{Reply: f.reply(r, req, ent), Cost: rtt + f.cfg.OpCost + cost}
+}
+
+// flushPending retransmits the shard's head-of-line unacknowledged record
+// under its original stop-and-wait sequence. True means the shard's log is
+// fully acknowledged again.
+func (f *Fleet) flushPending(r *replica) bool {
+	if r.pending == nil {
+		return true
+	}
+	f.counters.Resent++
+	if _, ok := f.replicate(r, r.pending.rec, false); !ok {
+		return false
+	}
+	r.pending.committed = true
+	r.pending = nil
+	return true
+}
+
+// reply builds the client reply for a committed entry, or loses it when the
+// fault schedule says so.
+func (f *Fleet) reply(r *replica, req *wire.Request, ent *dedupEntry) *wire.Reply {
+	if f.cfg.Fault == FaultReplyDrop && f.strike() {
+		f.counters.RepliesLost++
+		return nil
+	}
+	return &wire.Reply{Client: req.Client, Req: req.Req, Status: wire.StatusOK, Value: ent.result, Epoch: r.epoch}
+}
+
+// strike reports whether the current replication attempt is fault-struck.
+// The counter increments on every call, so the schedule is a pure function
+// of the request sequence.
+func (f *Fleet) strike() bool {
+	if f.cfg.FaultEvery == 0 {
+		return false
+	}
+	f.repAttempt++
+	return f.repAttempt%f.cfg.FaultEvery == 0
+}
+
+// replicate ships rec to r's backup as a real encoded frame and waits for the
+// ack. fresh marks a first transmission (advancing the stop-and-wait sequence
+// only on acknowledgement keeps retransmissions under the same number).
+// Returns the simulated cost and whether the op committed. A shard currently
+// running without a backup (recruitment found no live node) degrades to
+// primary-only: the op commits locally, like the paper's degraded mode.
+func (f *Fleet) replicate(r *replica, rec *wire.ClientOp, fresh bool) (time.Duration, bool) {
+	bak := r.peer
+	if bak == nil {
+		return f.cfg.OpCost, true
+	}
+	var payload wire.Buffer
+	if err := payload.Append(rec); err != nil {
+		panic(fmt.Sprintf("fleet: encode op: %v", err))
+	}
+	frame := &wire.Frame{Seq: r.seq + 1, Epoch: r.epoch, AckWanted: true, Payload: payload.Bytes()}
+	b := wire.EncodeFrame(frame)
+	if f.cfg.Fault == FaultFrameDrop && f.strike() {
+		f.counters.FramesDropped++
+		return f.cfg.AckTimeout, false
+	}
+	ack, _ := bak.deliverFrame(f, b)
+	if ack == nil {
+		// Epoch-gated or gap: the backup stayed silent; primary times out.
+		return f.cfg.AckTimeout, false
+	}
+	if f.cfg.Fault == FaultAckDrop && f.strike() {
+		f.counters.AcksDropped++
+		return f.cfg.AckTimeout, false
+	}
+	epoch, seq, err := wire.DecodeAck(ack)
+	if err != nil || epoch != r.epoch || seq != r.seq+1 {
+		return f.cfg.AckTimeout, false
+	}
+	r.seq = seq
+	return 2 * f.cfg.RepDelay, true
+}
+
+// Kill fail-stops a node: the directory reseats every shard it was seated on,
+// promotions replay backup logs under fresh epochs (taking PromoteBase +
+// PromotePerOp per record of simulated unavailability), and vacancies are
+// refilled by state transfer to the least-loaded live node. The returned
+// changes list every reconfiguration in shard order.
+func (f *Fleet) Kill(name string) ([]viewsvc.ShardChange, error) {
+	n := f.nodes[name]
+	if n == nil {
+		return nil, fmt.Errorf("fleet: unknown node %s", name)
+	}
+	if !n.Alive {
+		return nil, nil
+	}
+	n.Alive = false
+	reporter := ""
+	for _, o := range f.order {
+		if o != name && f.nodes[o].Alive {
+			reporter = o
+			break
+		}
+	}
+	if reporter == "" {
+		return nil, fmt.Errorf("fleet: no live node left to report %s dead", name)
+	}
+	changes, err := f.dir.ReportFailure(reporter, name)
+	if err != nil {
+		return nil, err
+	}
+	now := f.clk.Now()
+	for _, ch := range changes {
+		f.reseat(ch, name, now)
+	}
+	return changes, nil
+}
+
+// reseat applies one directory reconfiguration to the replica seating.
+func (f *Fleet) reseat(ch viewsvc.ShardChange, dead string, now time.Time) {
+	shard := ch.Shard
+	delete(f.nodes[dead].replicas, shard)
+	var pri *replica
+	if ch.Old.Primary == dead {
+		// The backup promotes: acquire the exactly-once license for the new
+		// epoch, then replay the shipped log into live state. The shard is
+		// unavailable while the replay runs.
+		pri = f.nodes[ch.Old.Backup].replicas[shard]
+		if pri == nil {
+			panic(fmt.Sprintf("fleet: shard %d backup %s has no replica", shard, ch.Old.Backup))
+		}
+		if err := f.dir.AcquirePromotion(ch.New.Primary, shard, ch.New.Num); err != nil {
+			panic(fmt.Sprintf("fleet: promotion license for shard %d: %v", shard, err))
+		}
+		pri.promote(ch.New.Num)
+		pri.availableAt = now.Add(f.cfg.PromoteBase + time.Duration(pri.logged)*f.cfg.PromotePerOp)
+		f.counters.Promotions++
+	} else {
+		// The backup died; the primary keeps serving under the new epoch.
+		pri = f.nodes[ch.Old.Primary].replicas[shard]
+		if pri == nil {
+			panic(fmt.Sprintf("fleet: shard %d primary %s has no replica", shard, ch.Old.Primary))
+		}
+		pri.epoch = ch.New.Num
+		pri.seq = 0
+	}
+	pri.peer = nil
+	if ch.New.Backup != "" {
+		// Recruit by state transfer: the new backup receives a snapshot of
+		// the primary's full log (its replay-equivalent state) and starts
+		// its gate fresh under the new epoch.
+		bak := newReplica(shard, ch.New.Num, roleBackup)
+		bak.log = append(bak.log, pri.log...)
+		bak.logged = pri.logged
+		bak.peer = pri
+		pri.peer = bak
+		f.nodes[ch.New.Backup].replicas[shard] = bak
+		f.counters.Transfers++
+	}
+	// The snapshot transfer (or, with no recruit, the degraded local-only
+	// mode) leaves every logged record replicated as far as the new
+	// configuration replicates anything — including a head-of-line record
+	// whose ack the old configuration lost. Retransmitting it would log it
+	// twice on a recruit that already holds the snapshot; mark it committed
+	// instead.
+	if pri.pending != nil {
+		pri.pending.committed = true
+		pri.pending = nil
+	}
+}
+
+// InjectStaleFrame builds a frame stamped with a pre-reconfiguration epoch
+// and delivers it to shard's current backup, modelling a deposed primary
+// that missed its own death. The backup's epoch gate must reject it; the
+// return value reports whether anything was logged (it must never be).
+func (f *Fleet) InjectStaleFrame(shard int, staleEpoch uint64) bool {
+	v := f.dir.Shard(shard)
+	if v.Backup == "" {
+		return false
+	}
+	bak := f.nodes[v.Backup].replicas[shard]
+	if bak == nil || bak.role != roleBackup {
+		return false
+	}
+	rec := &wire.ClientOp{Client: ^uint64(0), Req: 1, Tenant: uint64(shard), Op: wire.OpSet, Arg: -1, Result: -1}
+	var payload wire.Buffer
+	if err := payload.Append(rec); err != nil {
+		panic(err)
+	}
+	b := wire.EncodeFrame(&wire.Frame{Seq: bak.gate.Last() + 1, Epoch: staleEpoch, AckWanted: true, Payload: payload.Bytes()})
+	_, logged := bak.deliverFrame(f, b)
+	return logged
+}
+
+// TenantValue reads tenant's committed value from its shard's current
+// primary (0 if never written).
+func (f *Fleet) TenantValue(tenant uint64) int64 {
+	v := f.dir.Shard(f.ShardOf(tenant))
+	r := f.nodes[v.Primary].replicas[f.ShardOf(tenant)]
+	if r == nil {
+		return 0
+	}
+	return r.state[tenant]
+}
+
+// shardPrimaries returns shard -> current primary replica, shard-ordered.
+func (f *Fleet) shardPrimaries() []*replica {
+	out := make([]*replica, f.cfg.Shards)
+	for i := range out {
+		v := f.dir.Shard(i)
+		if n := f.nodes[v.Primary]; n != nil {
+			out[i] = n.replicas[i]
+		}
+	}
+	return out
+}
+
+// IsAlive reports whether node name is alive.
+func (f *Fleet) IsAlive(name string) bool {
+	n := f.nodes[name]
+	return n != nil && n.Alive
+}
+
+// LiveNodes returns the alive node names in join order.
+func (f *Fleet) LiveNodes() []string {
+	var out []string
+	for _, name := range f.order {
+		if f.nodes[name].Alive {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// SeatCounts exposes the directory's per-node seat balance.
+func (f *Fleet) SeatCounts() (names []string, primaries, backups []int) {
+	return f.dir.SeatCounts()
+}
+
+// sortedTenants returns the sorted tenant ids present in m.
+func sortedTenants(m map[uint64]int64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type role uint8
+
+const (
+	rolePrimary role = iota
+	roleBackup
+)
+
+// dedupEntry is one client's at-most-once state: the highest request id seen,
+// its result, and whether the output-commit completed (the backup acked the
+// logged record). An uncommitted entry answers a retry by retransmitting the
+// record, never by re-executing it.
+type dedupEntry struct {
+	req       uint64
+	result    int64
+	committed bool
+	rec       *wire.ClientOp
+}
+
+// replica is one copy of one shard. A primary holds live tenant state and the
+// dedup table; a backup holds only the encoded log (plus the SeqGate guarding
+// the channel) and materialises state exclusively by replay at promotion —
+// the same division of labour as the full VM pair, where the backup consumes
+// the log without executing until takeover.
+type replica struct {
+	shard int
+	role  role
+	epoch uint64
+	peer  *replica // nil while the shard runs degraded without a backup
+
+	// Primary side.
+	seq   uint64 // last acknowledged stop-and-wait sequence
+	state map[uint64]int64
+	dedup map[uint64]*dedupEntry
+	// pending is the shard's head-of-line executed-and-logged-but-unacked
+	// entry. Stop-and-wait admits at most one: a fresh operation must flush
+	// it (retransmit until acked) before executing, or the shard stalls.
+	// Without this ordering barrier the backup's log could omit an op whose
+	// effect is already baked into later logged results — replay would
+	// diverge from the state the primary actually served.
+	pending     *dedupEntry
+	availableAt time.Time // promotion replay completes at this instant
+
+	// Both sides: the encoded ClientOp log. On the primary it is the
+	// snapshot shipped to a recruit; on the backup it is the authority the
+	// promotion replays.
+	log    []byte
+	logged int
+	enc    wire.Buffer
+	gate   wire.SeqGate
+}
+
+func newReplica(shard int, epoch uint64, r role) *replica {
+	rep := &replica{shard: shard, role: r, epoch: epoch}
+	if r == rolePrimary {
+		rep.state = make(map[uint64]int64)
+		rep.dedup = make(map[uint64]*dedupEntry)
+	}
+	return rep
+}
+
+// appendLog encodes rec onto the replica's log.
+func (r *replica) appendLog(rec *wire.ClientOp) {
+	r.enc.Reset()
+	if err := r.enc.Append(rec); err != nil {
+		panic(fmt.Sprintf("fleet: encode log record: %v", err))
+	}
+	r.log = append(r.log, r.enc.Bytes()...)
+	r.logged++
+}
+
+// deliverFrame is the backup's receive path: decode the frame, gate it on the
+// epoch, classify its sequence, log fresh records, and ack. A frame from a
+// stale epoch is dropped without an ack — the silence that starves a deposed
+// primary's output commit. Returns the ack bytes (nil for silence) and
+// whether anything was appended to the log.
+func (r *replica) deliverFrame(f *Fleet, b []byte) (ack []byte, logged bool) {
+	frame, err := wire.DecodeFrame(b)
+	if err != nil {
+		return nil, false
+	}
+	if frame.Epoch != r.epoch {
+		f.counters.StaleFrames++
+		return nil, false
+	}
+	dup, gap := r.gate.Admit(frame.Seq)
+	if gap {
+		return nil, false
+	}
+	if dup {
+		// Already logged (the ack was lost): re-ack without re-logging.
+		if frame.AckWanted {
+			return wire.EncodeAck(r.epoch, r.gate.Last()), false
+		}
+		return nil, false
+	}
+	r.log = append(r.log, frame.Payload...)
+	recs, err := wire.DecodeAll(frame.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: backup logged undecodable payload: %v", err))
+	}
+	r.logged += len(recs)
+	if frame.AckWanted {
+		return wire.EncodeAck(r.epoch, frame.Seq), true
+	}
+	return nil, true
+}
+
+// promote turns a backup into the shard's primary under epoch: replay the
+// whole log through the same apply + dedup path the live primary uses, so
+// tenant state and the at-most-once table come back exactly as the old
+// primary would have them for every committed operation. Replay tolerates
+// duplicate (client, req) records (none arise under stop-and-wait, but the
+// guard is the protocol, not the transport).
+func (r *replica) promote(epoch uint64) {
+	if r.role != roleBackup {
+		panic(fmt.Sprintf("fleet: promoting a non-backup replica of shard %d", r.shard))
+	}
+	r.role = rolePrimary
+	r.epoch = epoch
+	r.seq = 0
+	r.pending = nil
+	r.gate = wire.SeqGate{}
+	r.state = make(map[uint64]int64)
+	r.dedup = make(map[uint64]*dedupEntry)
+	recs, err := wire.DecodeAll(r.log)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: replaying shard %d log: %v", r.shard, err))
+	}
+	for _, rec := range recs {
+		op, ok := rec.(*wire.ClientOp)
+		if !ok {
+			panic(fmt.Sprintf("fleet: foreign record %T in shard %d log", rec, r.shard))
+		}
+		if ent := r.dedup[op.Client]; ent != nil && op.Req <= ent.req {
+			continue // duplicate: the dedup table, not the transport, is the guard
+		}
+		got := apply(r.state, op.Tenant, op.Op, op.Arg)
+		if got != op.Result {
+			panic(fmt.Sprintf("fleet: shard %d replay diverged: (%d,%d) got %d, logged %d",
+				r.shard, op.Client, op.Req, got, op.Result))
+		}
+		// Logged means acked means replicated: committed from the new
+		// primary's point of view.
+		r.dedup[op.Client] = &dedupEntry{req: op.Req, result: op.Result, committed: true, rec: op}
+	}
+}
+
+// apply executes one tenant operation against state and returns the result.
+// This single function is the tenant state machine: the live path, promotion
+// replay, and the model verifier all run it, so "executed exactly once" is
+// checkable by replaying logs through it.
+func apply(state map[uint64]int64, tenant uint64, op uint8, arg int64) int64 {
+	switch op {
+	case wire.OpGet:
+		return state[tenant]
+	case wire.OpAdd:
+		state[tenant] += arg
+		return state[tenant]
+	case wire.OpSet:
+		state[tenant] = arg
+		return arg
+	default:
+		panic(fmt.Sprintf("fleet: unknown op %d", op))
+	}
+}

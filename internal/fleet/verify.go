@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Observation is one OK reply a client actually observed. The load generator
+// collects these; Verify checks every one against the authoritative logs.
+type Observation struct {
+	Client uint64
+	Req    uint64
+	Value  int64
+}
+
+// Verify checks the fleet's end state against the at-most-once model:
+//
+//  1. Every shard's authoritative log (its current primary's) executes
+//     cleanly through the tenant state machine with no duplicate
+//     (client, req) — each request ran at most once, fleet-wide.
+//  2. Replaying each log reproduces the live primary's tenant state exactly —
+//     the state clients will be served from is the state the log proves.
+//  3. Every observed OK reply matches the logged result for its (client, req)
+//     — output commit held: nothing was answered that failover could lose,
+//     and retries never saw a second execution's differing result.
+//
+// Because the primary replies only after the backup acks the logged record,
+// every observation must appear in the surviving authority even when the
+// replica that produced it was killed immediately afterwards.
+func (f *Fleet) Verify(obs []Observation) error {
+	type key struct{ client, req uint64 }
+	logged := make(map[key]int64)
+	for shard, pri := range f.shardPrimaries() {
+		if pri == nil {
+			return fmt.Errorf("fleet: shard %d has no primary replica", shard)
+		}
+		recs, err := wire.DecodeAll(pri.log)
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d log undecodable: %w", shard, err)
+		}
+		model := make(map[uint64]int64)
+		for i, rec := range recs {
+			op, ok := rec.(*wire.ClientOp)
+			if !ok {
+				return fmt.Errorf("fleet: shard %d log[%d] is %T, want ClientOp", shard, i, rec)
+			}
+			if f.ShardOf(op.Tenant) != shard {
+				return fmt.Errorf("fleet: shard %d log[%d] holds tenant %d of shard %d", shard, i, op.Tenant, f.ShardOf(op.Tenant))
+			}
+			k := key{op.Client, op.Req}
+			if _, dup := logged[k]; dup {
+				return fmt.Errorf("fleet: (client %d, req %d) executed twice", op.Client, op.Req)
+			}
+			got := apply(model, op.Tenant, op.Op, op.Arg)
+			if got != op.Result {
+				return fmt.Errorf("fleet: shard %d log[%d]: model result %d, logged %d", shard, i, got, op.Result)
+			}
+			logged[k] = op.Result
+		}
+		// The live state a primary serves must equal its log's replay.
+		if pri.state != nil {
+			if len(model) != len(pri.state) {
+				return fmt.Errorf("fleet: shard %d live state has %d tenants, log replay %d", shard, len(pri.state), len(model))
+			}
+			for _, t := range sortedTenants(model) {
+				if pri.state[t] != model[t] {
+					return fmt.Errorf("fleet: shard %d tenant %d live %d != replayed %d", shard, t, pri.state[t], model[t])
+				}
+			}
+		}
+	}
+	for _, o := range obs {
+		want, ok := logged[key{o.Client, o.Req}]
+		if !ok {
+			return fmt.Errorf("fleet: client %d observed OK for req %d never present in any surviving log", o.Client, o.Req)
+		}
+		if want != o.Value {
+			return fmt.Errorf("fleet: client %d req %d observed %d, log says %d", o.Client, o.Req, o.Value, want)
+		}
+	}
+	return nil
+}
+
+// Checksum folds every shard's replayed model state (shard-ordered, tenant-
+// ordered) and log length into one FNV-1a hash — the per-seed fingerprint the
+// deterministic traces compare byte-for-byte.
+func (f *Fleet) Checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for shard, pri := range f.shardPrimaries() {
+		if pri == nil {
+			mix(^uint64(0))
+			continue
+		}
+		mix(uint64(shard))
+		mix(uint64(pri.logged))
+		mix(pri.epoch)
+		recs, err := wire.DecodeAll(pri.log)
+		if err != nil {
+			panic(fmt.Sprintf("fleet: checksum over undecodable shard %d log: %v", shard, err))
+		}
+		model := make(map[uint64]int64)
+		for _, rec := range recs {
+			if op, ok := rec.(*wire.ClientOp); ok {
+				apply(model, op.Tenant, op.Op, op.Arg)
+			}
+		}
+		for _, t := range sortedTenants(model) {
+			mix(t)
+			mix(uint64(model[t]))
+		}
+	}
+	return h
+}

@@ -1,0 +1,384 @@
+package simtest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fleet/loadgen"
+	"repro/internal/simtest/clock"
+)
+
+// FleetCombo is one point of the sharded-fleet sweep: a fleet shape, a seeded
+// open-loop workload, up to two node kills inside the arrival window, one
+// replication-hop fault plan, and optionally a stale-epoch frame probe after
+// the run. Its Key() round-trips through ParseFleetCombo, so any failing
+// combo replays from a single string:
+//
+//	go run ./cmd/ftvm-sim -replay "seed=7,nodes=4,shards=8,clients=2000,ops=3,ka=2@300,kb=0@0,fault=ackdrop/13,inject=1"
+type FleetCombo struct {
+	Seed    uint64
+	Nodes   int
+	Shards  int
+	Clients int
+	Ops     int
+	// Kill schedule: node is a 1-based index into the fleet's join order
+	// ("n<k>"), 0 = no kill; At is the offset in the arrival window.
+	Kill1Node int
+	Kill1At   time.Duration
+	Kill2Node int
+	Kill2At   time.Duration
+	// Fault and FaultEvery strike every Nth replication attempt.
+	Fault      string
+	FaultEvery uint64
+	// InjectStale probes a reseated shard with a deposed epoch's frame after
+	// the workload drains; the backup must drop it unlogged.
+	InjectStale bool
+}
+
+// Key renders the combo as its canonical replay string. The "clients=" field
+// is what distinguishes a fleet replay from a pair or view-cluster replay.
+func (cb FleetCombo) Key() string {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("seed=%d,nodes=%d,shards=%d,clients=%d,ops=%d,ka=%d@%d,kb=%d@%d,fault=%s/%d,inject=%d",
+		cb.Seed, cb.Nodes, cb.Shards, cb.Clients, cb.Ops,
+		cb.Kill1Node, cb.Kill1At/time.Millisecond,
+		cb.Kill2Node, cb.Kill2At/time.Millisecond,
+		cb.Fault, cb.FaultEvery, b2i(cb.InjectStale))
+}
+
+// IsFleetKey reports whether a replay string denotes a fleet combo
+// (ParseFleetCombo) rather than a pair or view-cluster combo. Check it before
+// IsViewKey: fleet keys are the only ones carrying a client population.
+func IsFleetKey(key string) bool {
+	return strings.Contains(key, "clients=")
+}
+
+// ParseFleetCombo parses a Key()-formatted replay string.
+func ParseFleetCombo(key string) (FleetCombo, error) {
+	var cb FleetCombo
+	kill := func(v string) (int, time.Duration, error) {
+		node, at, ok := strings.Cut(v, "@")
+		if !ok {
+			return 0, 0, fmt.Errorf("kill %q is not node@ms", v)
+		}
+		n, err := strconv.Atoi(node)
+		if err != nil {
+			return 0, 0, err
+		}
+		ms, err := strconv.Atoi(at)
+		if err != nil {
+			return 0, 0, err
+		}
+		return n, time.Duration(ms) * time.Millisecond, nil
+	}
+	for _, field := range strings.Split(key, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return cb, fmt.Errorf("combo field %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cb.Seed, err = strconv.ParseUint(v, 0, 64)
+		case "nodes":
+			cb.Nodes, err = strconv.Atoi(v)
+		case "shards":
+			cb.Shards, err = strconv.Atoi(v)
+		case "clients":
+			cb.Clients, err = strconv.Atoi(v)
+		case "ops":
+			cb.Ops, err = strconv.Atoi(v)
+		case "ka":
+			cb.Kill1Node, cb.Kill1At, err = kill(v)
+		case "kb":
+			cb.Kill2Node, cb.Kill2At, err = kill(v)
+		case "fault":
+			kind, every, ok := strings.Cut(v, "/")
+			if !ok {
+				return cb, fmt.Errorf("fault %q is not kind/every", v)
+			}
+			cb.Fault = kind
+			cb.FaultEvery, err = strconv.ParseUint(every, 0, 64)
+		case "inject":
+			cb.InjectStale = v == "1" || v == "true"
+		default:
+			return cb, fmt.Errorf("unknown fleet combo field %q", k)
+		}
+		if err != nil {
+			return cb, fmt.Errorf("fleet combo field %q: %w", field, err)
+		}
+	}
+	return cb, nil
+}
+
+// FleetComboOutcome is one fleet combo's deterministic result plus the
+// verdict of the post-run invariant checks.
+type FleetComboOutcome struct {
+	Combo FleetCombo
+	Stats *loadgen.Stats
+	// Detail is "" when every invariant held: all requests completed, the
+	// model verified at-most-once execution, kills promoted, blast stayed
+	// under the killed node's share, and injected stale frames were dropped.
+	Detail string
+	Err    error
+}
+
+// Failed reports whether the combo errored or broke an invariant.
+func (o *FleetComboOutcome) Failed() bool { return o.Err != nil || o.Detail != "" }
+
+// TraceLine renders the combo's outcome from deterministic fields only, so a
+// whole sweep's trace is byte-identical across runs.
+func (o *FleetComboOutcome) TraceLine() string {
+	var sb strings.Builder
+	sb.WriteString(o.Combo.Key())
+	sb.WriteString(" -> ")
+	if o.Err != nil {
+		fmt.Fprintf(&sb, "ERROR %v", o.Err)
+		return sb.String()
+	}
+	st := o.Stats
+	fmt.Fprintf(&sb, "oks=%d req=%d retries=%d silent=%d unavail=%d notowner=%d exec=%d dup=%d resent=%d promos=%d transfers=%d stale=%d blast=%d/%d p50=%s p99=%s vtime=%s sum=%016x",
+		st.OKs, st.Requests, st.Retries, st.Silent, st.Unavailable, st.NotOwner,
+		st.Fleet.Executed, st.Fleet.DupHits, st.Fleet.Resent,
+		st.Fleet.Promotions, st.Fleet.Transfers, st.Fleet.StaleFrames,
+		st.TenantsBlasted, st.TenantsActive, st.P50, st.P99, st.Elapsed, st.Checksum)
+	if o.Detail != "" {
+		fmt.Fprintf(&sb, " FAIL %s", o.Detail)
+	} else {
+		sb.WriteString(" ok")
+	}
+	return sb.String()
+}
+
+// ReplayCommand renders the shell command that reproduces this combo alone.
+func (o *FleetComboOutcome) ReplayCommand() string {
+	return fmt.Sprintf("go run ./cmd/ftvm-sim -replay %q", o.Combo.Key())
+}
+
+// fleetConfigs expands the combo into the fleet and workload configurations
+// it denotes.
+func (cb FleetCombo) fleetConfigs(clk clock.Clock) (fleet.Config, loadgen.Config) {
+	nodes := make([]string, cb.Nodes)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%d", i+1)
+	}
+	fcfg := fleet.Config{
+		Clock:      clk,
+		Nodes:      nodes,
+		Shards:     cb.Shards,
+		Fault:      cb.Fault,
+		FaultEvery: cb.FaultEvery,
+	}
+	lcfg := loadgen.Config{
+		Clients:      cb.Clients,
+		OpsPerClient: cb.Ops,
+		Seed:         cb.Seed,
+	}
+	if cb.Clients > 4096 {
+		lcfg.SampleEvery = 64 // bound observation memory on large populations
+	}
+	if cb.Kill1Node > 0 {
+		lcfg.Kills = append(lcfg.Kills, loadgen.Kill{At: cb.Kill1At, Node: fmt.Sprintf("n%d", cb.Kill1Node)})
+	}
+	if cb.Kill2Node > 0 {
+		lcfg.Kills = append(lcfg.Kills, loadgen.Kill{At: cb.Kill2At, Node: fmt.Sprintf("n%d", cb.Kill2Node)})
+	}
+	return fcfg, lcfg
+}
+
+// RunFleetCombo plays the combo's workload on a fresh virtual clock and
+// checks the fleet invariants the sweep exists to enforce: every request
+// completes exactly once against the model (loadgen.Run verifies this), a
+// kill causes promotions but blasts less than the dead node's seat share, and
+// a stale-epoch frame probed at a reseated shard is dropped unlogged.
+func RunFleetCombo(cb FleetCombo) *FleetComboOutcome {
+	out := &FleetComboOutcome{Combo: cb}
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(2 * time.Minute)()
+	fcfg, lcfg := cb.fleetConfigs(clk)
+	f, err := fleet.New(fcfg)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	clk.Attach()
+	defer clk.Detach()
+	st, _, err := loadgen.Run(f, clk, lcfg)
+	out.Stats = st
+	if err != nil {
+		out.Err = err
+		return out
+	}
+
+	var fail []string
+	if want := uint64(cb.Clients * cb.Ops); st.OKs != want {
+		fail = append(fail, fmt.Sprintf("oks=%d want=%d", st.OKs, want))
+	}
+	if st.Fleet.Executed < st.Requests {
+		fail = append(fail, fmt.Sprintf("executed=%d < requests=%d", st.Fleet.Executed, st.Requests))
+	}
+	kills := 0
+	if cb.Kill1Node > 0 {
+		kills++
+	}
+	if cb.Kill2Node > 0 {
+		kills++
+	}
+	if kills > 0 {
+		if st.Fleet.Promotions == 0 {
+			fail = append(fail, "kill caused no promotions")
+		}
+		// Blast stays under the dead nodes' share of the fleet.
+		if st.BlastRadius >= float64(kills)/float64(cb.Nodes) {
+			fail = append(fail, fmt.Sprintf("blast=%d/%d >= %d/%d nodes",
+				st.TenantsBlasted, st.TenantsActive, kills, cb.Nodes))
+		}
+	} else if cb.Fault == fleet.FaultNone || cb.FaultEvery == 0 {
+		if st.Retries != 0 || st.Silent != 0 {
+			fail = append(fail, fmt.Sprintf("clean run retried %d / silenced %d", st.Retries, st.Silent))
+		}
+		if st.Fleet.Executed != st.Requests {
+			fail = append(fail, fmt.Sprintf("clean run executed=%d != requests=%d", st.Fleet.Executed, st.Requests))
+		}
+	}
+	if cb.InjectStale {
+		// Probe the first reseated shard with its formation epoch (Form
+		// issues epochs 1..Shards in shard order); with no reseat, probe
+		// shard 0 with the never-issued epoch 0. Either way the backup's
+		// epoch gate must drop the frame without logging it.
+		shard, stale := 0, uint64(0)
+		for i := 0; i < f.NumShards(); i++ {
+			if f.Shard(i).Num != uint64(i+1) {
+				shard, stale = i, uint64(i+1)
+				break
+			}
+		}
+		before := f.Counters().StaleFrames
+		if f.InjectStaleFrame(shard, stale) {
+			fail = append(fail, fmt.Sprintf("stale-epoch frame was logged at shard %d", shard))
+		}
+		if f.Counters().StaleFrames == before {
+			fail = append(fail, "stale-epoch frame not counted as dropped")
+		}
+		st.Fleet = f.Counters() // trace reflects the probe
+	}
+	out.Detail = strings.Join(fail, "; ")
+	return out
+}
+
+// FleetSweepConfig enumerates the fleet schedule space: for every seed, one
+// clean run, then for each kill schedule a kill-only run, a kill per fault
+// kind, a double-kill run, and a stale-injection run.
+type FleetSweepConfig struct {
+	// Seeds are the workload master seeds (required).
+	Seeds []uint64
+	// Nodes / Shards give the fleet shape (default 4 nodes, 8 shards).
+	Nodes  int
+	Shards int
+	// Clients / Ops give the per-combo population (default 1000 x 3).
+	Clients int
+	Ops     int
+	// Kill1 offsets inside the arrival window (default 200ms, 600ms); the
+	// killed node rotates deterministically with the schedule index.
+	Kill1Ats []time.Duration
+	// Kill2At is the second kill's offset for double-kill combos (default
+	// 700ms).
+	Kill2At time.Duration
+	// FaultEvery is the replication fault stride (default 13).
+	FaultEvery uint64
+}
+
+func (c *FleetSweepConfig) fill() {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Clients == 0 {
+		c.Clients = 1000
+	}
+	if c.Ops == 0 {
+		c.Ops = 3
+	}
+	if len(c.Kill1Ats) == 0 {
+		c.Kill1Ats = []time.Duration{200 * time.Millisecond, 600 * time.Millisecond}
+	}
+	if c.Kill2At == 0 {
+		c.Kill2At = 700 * time.Millisecond
+	}
+	if c.FaultEvery == 0 {
+		c.FaultEvery = 13
+	}
+}
+
+// Combos expands the configuration into the full deterministic schedule list.
+func (c *FleetSweepConfig) Combos() []FleetCombo {
+	c.fill()
+	var out []FleetCombo
+	for _, seed := range c.Seeds {
+		base := FleetCombo{
+			Seed: seed, Nodes: c.Nodes, Shards: c.Shards,
+			Clients: c.Clients, Ops: c.Ops, Fault: fleet.FaultNone,
+		}
+		out = append(out, base) // clean run
+		for i, at := range c.Kill1Ats {
+			v := base
+			v.Kill1Node = 1 + (int(seed)+i)%c.Nodes
+			v.Kill1At = at
+			out = append(out, v) // kill only
+			for _, kind := range []string{fleet.FaultFrameDrop, fleet.FaultAckDrop, fleet.FaultReplyDrop} {
+				vf := v
+				vf.Fault = kind
+				vf.FaultEvery = c.FaultEvery
+				out = append(out, vf) // kill x replication fault
+			}
+			vv := v
+			vv.Kill2Node = 1 + v.Kill1Node%c.Nodes // a different node
+			vv.Kill2At = c.Kill2At
+			out = append(out, vv) // double kill, rebalance twice
+			inj := v
+			inj.InjectStale = true
+			out = append(out, inj) // deposed-epoch straggler probe
+		}
+	}
+	return out
+}
+
+// FleetSweepResult is the outcome of a full fleet sweep.
+type FleetSweepResult struct {
+	Combos   int
+	Failures []*FleetComboOutcome
+	Trace    []string
+	Elapsed  time.Duration // wall time (reporting only; never in the trace)
+}
+
+// RunFleetSweep plays every combo in order, emitting one trace line per combo
+// via logf (nil = collect only). The trace is a pure function of the
+// configuration.
+func RunFleetSweep(cfg FleetSweepConfig, logf func(string)) *FleetSweepResult {
+	combos := cfg.Combos()
+	res := &FleetSweepResult{Combos: len(combos)}
+	t0 := clock.Real.Now()
+	for _, cb := range combos {
+		out := RunFleetCombo(cb)
+		line := out.TraceLine()
+		res.Trace = append(res.Trace, line)
+		if logf != nil {
+			logf(line)
+		}
+		if out.Failed() {
+			res.Failures = append(res.Failures, out)
+		}
+	}
+	res.Elapsed = clock.Real.Since(t0)
+	return res
+}

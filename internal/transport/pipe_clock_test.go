@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtest/clock"
+)
+
+// The pipe under a virtual clock: every blocking wait must park clock-visibly
+// (so the simulation can advance through it) and every Recv timeout must fire
+// in simulated, not wall, time. Actors are joined with a plain WaitGroup from
+// the detached test goroutine — a clock-side wait from outside the actor set
+// would corrupt the blocked-actor accounting.
+
+// TestPipeClockVirtualTimeout: a Recv on an empty pipe expires after exactly
+// the simulated timeout, without any wall-clock sleeping.
+func TestPipeClockVirtualTimeout(t *testing.T) {
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(30 * time.Second)()
+	a, _ := PipeClock(1, clk)
+	clk.Attach()
+	start := clk.Now()
+	_, err := a.Recv(250 * time.Millisecond)
+	elapsed := clk.Now().Sub(start)
+	clk.Detach()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed != 250*time.Millisecond {
+		t.Fatalf("virtual elapsed = %v, want exactly 250ms", elapsed)
+	}
+}
+
+// TestPipeClockActorHandoff: a sender and a receiver running as clock actors
+// exchange messages across simulated delays; the receiver's long timeout
+// never fires because the sends arrive first in virtual time.
+func TestPipeClockActorHandoff(t *testing.T) {
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(30 * time.Second)()
+	a, b := PipeClock(2, clk)
+
+	got := make([]string, 0, 3)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	clk.Attach()
+	clk.Go(func() {
+		defer wg.Done()
+		for _, m := range []string{"one", "two", "three"} {
+			clk.Sleep(10 * time.Millisecond)
+			if err := a.Send([]byte(m)); err != nil {
+				t.Errorf("send %q: %v", m, err)
+			}
+		}
+	})
+	clk.Go(func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			msg, err := b.Recv(time.Hour)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			got = append(got, string(msg))
+		}
+	})
+	clk.Detach()
+	wg.Wait()
+	if len(got) != 3 || got[0] != "one" || got[1] != "two" || got[2] != "three" {
+		t.Fatalf("received %v", got)
+	}
+	if clk.Elapsed() == 0 {
+		t.Fatal("virtual time never advanced")
+	}
+}
+
+// TestPipeClockFullBufferParks: a sender blocked on a full pipe parks until
+// the receiver drains a slot — and the park is clock-visible, so the
+// receiver's deliberate simulated delay passes before the send completes.
+func TestPipeClockFullBufferParks(t *testing.T) {
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(30 * time.Second)()
+	a, b := PipeClock(1, clk)
+
+	var sendDone, recvAt time.Time
+	var wg sync.WaitGroup
+	wg.Add(2)
+	clk.Attach()
+	clk.Go(func() {
+		defer wg.Done()
+		_ = a.Send([]byte("fill"))
+		_ = a.Send([]byte("blocked")) // parks: capacity 1
+		sendDone = clk.Now()
+	})
+	clk.Go(func() {
+		defer wg.Done()
+		clk.Sleep(40 * time.Millisecond)
+		recvAt = clk.Now()
+		if _, err := b.Recv(time.Second); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+	})
+	clk.Detach()
+	wg.Wait()
+	if sendDone.Before(recvAt) {
+		t.Fatalf("blocked send completed at %v, before the receiver freed a slot at %v", sendDone, recvAt)
+	}
+}
+
+// TestPipeClockCloseDrains: the drain-after-close contract holds under the
+// virtual clock, and a Recv parked at close time wakes with ErrClosed instead
+// of waiting out its timeout.
+func TestPipeClockCloseDrains(t *testing.T) {
+	clk := clock.NewVirtual()
+	defer clk.Watchdog(30 * time.Second)()
+	a, b := PipeClock(4, clk)
+
+	clk.Attach()
+	_ = a.Send([]byte("buffered"))
+	if err := a.Close(); err != nil {
+		clk.Detach()
+		t.Fatal(err)
+	}
+	if msg, err := b.Recv(time.Second); err != nil || string(msg) != "buffered" {
+		clk.Detach()
+		t.Fatalf("drain = %q (%v)", msg, err)
+	}
+	if _, err := b.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		clk.Detach()
+		t.Fatalf("after drain: %v, want ErrClosed", err)
+	}
+	if err := b.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		clk.Detach()
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+
+	// A receiver already parked when the close lands wakes immediately (in
+	// virtual time) rather than timing out.
+	c, d := PipeClock(1, clk)
+	var recvErr error
+	var woke time.Duration
+	var wg sync.WaitGroup
+	wg.Add(2)
+	clk.Go(func() {
+		defer wg.Done()
+		_, recvErr = d.Recv(time.Hour)
+		woke = clk.Elapsed()
+	})
+	clk.Go(func() {
+		defer wg.Done()
+		clk.Sleep(5 * time.Millisecond)
+		_ = c.Close()
+	})
+	clk.Detach()
+	wg.Wait()
+	if !errors.Is(recvErr, ErrClosed) {
+		t.Fatalf("parked recv woke with %v, want ErrClosed", recvErr)
+	}
+	if woke >= time.Hour {
+		t.Fatal("parked recv waited out its timeout instead of waking on close")
+	}
+}

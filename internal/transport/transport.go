@@ -40,99 +40,156 @@ type Endpoint interface {
 	Close() error
 }
 
+// pipeShared is the state behind both ends of an in-process pipe: two
+// bounded queues (one per direction) plus the parked senders/receivers
+// waiting on them. All waits go through clock.WaitSlot on the pipe's
+// injected clock, so a pipe created with PipeClock is fully visible to a
+// virtual clock — its Recv timeouts fire in simulated time and its blocked
+// endpoints count as parked actors instead of stalling the simulation. (The
+// earlier implementation waited on bare channels with a real timer: exactly
+// the kind of wall-clock wait the clock lint cannot see, because the timer
+// came from the sanctioned clock.Real escape hatch.)
+type pipeShared struct {
+	clk clock.Clock
+	mu  sync.Mutex
+	dir [2]pipeDir // dir[i] carries traffic sent by end i
+	// closed[i] reports end i closed. Either closure stops new traffic in
+	// both directions; already-buffered messages remain drainable.
+	closed [2]bool
+}
+
+// pipeDir is one direction's queue and its waiters.
+type pipeDir struct {
+	capacity int
+	queue    [][]byte
+	sendWait []clock.WaitSlot // senders parked on a full queue
+	recvWait []clock.WaitSlot // receivers parked on an empty queue
+}
+
+// wake signals and forgets every parked waiter in list; woken parties
+// re-evaluate their condition and re-park with a fresh slot if needed.
+func wake(list *[]clock.WaitSlot) {
+	for _, s := range *list {
+		s.Signal()
+	}
+	*list = (*list)[:0]
+}
+
 // pipeEnd is one side of an in-process pipe.
 type pipeEnd struct {
-	in, out chan []byte
-	mu      sync.Mutex
-	closed  chan struct{}
-	peer    *pipeEnd
+	s   *pipeShared
+	idx int // 0 or 1; sends into s.dir[idx], receives from s.dir[1-idx]
 }
 
 // Pipe returns the two ends of an in-process duplex channel with capacity
 // cap messages per direction (a small buffer decouples the primary's log
-// sender from the backup's consumer, like a socket buffer).
+// sender from the backup's consumer, like a socket buffer). Waits run on
+// the wall clock; simulation code uses PipeClock.
 func Pipe(capacity int) (Endpoint, Endpoint) {
+	return PipeClock(capacity, nil)
+}
+
+// PipeClock is Pipe with an injected clock: under a virtual clock every
+// blocking Send/Recv parks clock-visibly and every Recv timeout fires in
+// simulated time, which is what keeps harness runs that use the in-process
+// pipe (ftvm.RunReplicated and friends) deterministic under simulation.
+func PipeClock(capacity int, clk clock.Clock) (Endpoint, Endpoint) {
 	if capacity < 1 {
 		capacity = 64
 	}
-	ab := make(chan []byte, capacity)
-	ba := make(chan []byte, capacity)
-	a := &pipeEnd{in: ba, out: ab, closed: make(chan struct{})}
-	b := &pipeEnd{in: ab, out: ba, closed: make(chan struct{})}
-	a.peer, b.peer = b, a
-	return a, b
+	s := &pipeShared{clk: clock.Or(clk)}
+	s.dir[0].capacity = capacity
+	s.dir[1].capacity = capacity
+	return &pipeEnd{s: s, idx: 0}, &pipeEnd{s: s, idx: 1}
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint. It blocks (clock-visibly) while the direction's
+// buffer is full, and fails once either end has closed — a buffered queue
+// must not keep accepting traffic for a torn-down channel.
 func (p *pipeEnd) Send(msg []byte) error {
-	// Check closure first: a buffered select could otherwise still accept
-	// the message after either end closed.
-	select {
-	case <-p.closed:
-		return ErrClosed
-	case <-p.peer.closed:
-		return ErrClosed
-	default:
+	s := p.s
+	s.mu.Lock()
+	d := &s.dir[p.idx]
+	for {
+		if s.closed[0] || s.closed[1] {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if len(d.queue) < d.capacity {
+			break
+		}
+		slot := s.clk.NewWaitSlot()
+		d.sendWait = append(d.sendWait, slot)
+		s.mu.Unlock()
+		slot.Park(0)
+		s.mu.Lock()
 	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
-	select {
-	case <-p.closed:
-		return ErrClosed
-	case <-p.peer.closed:
-		return ErrClosed
-	case p.out <- cp:
-		return nil
-	}
+	d.queue = append(d.queue, cp)
+	wake(&d.recvWait)
+	s.mu.Unlock()
+	return nil
 }
 
-// Recv implements Endpoint. The pipe is the wall-clock transport (simulated
-// clusters use simnet instead), so its timeout deliberately runs on real
-// time via the explicit clock.Real opt-in.
+// Recv implements Endpoint. Buffered messages are drained even after either
+// end closes (closing stops new traffic; it must not discard messages that
+// were already delivered into the buffer); only an empty queue reports
+// ErrClosed.
 func (p *pipeEnd) Recv(timeout time.Duration) ([]byte, error) {
-	var timer *time.Timer
-	var expire <-chan time.Time
-	if timeout > 0 {
-		timer = clock.Real.Timer(timeout)
-		defer timer.Stop()
-		expire = timer.C
-	}
-	select {
-	case msg := <-p.in:
-		return msg, nil
-	case <-expire:
-		return nil, ErrTimeout
-	case <-p.closed:
-		// Drain anything already buffered before reporting closure — the
-		// same contract as the peer-closed branch below. Closing an end
-		// stops new traffic; it must not discard messages that had already
-		// been delivered into the channel buffer.
-		select {
-		case msg := <-p.in:
+	s := p.s
+	s.mu.Lock()
+	d := &s.dir[1-p.idx]
+	for {
+		if len(d.queue) > 0 {
+			msg := d.queue[0]
+			d.queue = d.queue[1:]
+			wake(&d.sendWait)
+			s.mu.Unlock()
 			return msg, nil
-		default:
+		}
+		if s.closed[0] || s.closed[1] {
+			s.mu.Unlock()
 			return nil, ErrClosed
 		}
-	case <-p.peer.closed:
-		// Drain anything already buffered before reporting closure.
-		select {
-		case msg := <-p.in:
-			return msg, nil
-		default:
-			return nil, ErrClosed
+		slot := s.clk.NewWaitSlot()
+		d.recvWait = append(d.recvWait, slot)
+		s.mu.Unlock()
+		timedOut := slot.Park(timeout)
+		s.mu.Lock()
+		// Drop our slot if it is still registered (a timeout leaves it in
+		// the list; a wake already cleared it). A stale entry would only
+		// accumulate, never misbehave, but keep the list exact.
+		for i, ws := range d.recvWait {
+			if ws == slot {
+				d.recvWait = append(d.recvWait[:i], d.recvWait[i+1:]...)
+				break
+			}
+		}
+		if timedOut && len(d.queue) == 0 {
+			if s.closed[0] || s.closed[1] {
+				s.mu.Unlock()
+				return nil, ErrClosed
+			}
+			s.mu.Unlock()
+			return nil, ErrTimeout
 		}
 	}
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint. Idempotent; wakes every parked sender and
+// receiver on both directions so nothing stays parked on a dead channel.
 func (p *pipeEnd) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	select {
-	case <-p.closed:
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed[p.idx] {
 		return nil
-	default:
-		close(p.closed)
+	}
+	s.closed[p.idx] = true
+	for i := range s.dir {
+		wake(&s.dir[i].sendWait)
+		wake(&s.dir[i].recvWait)
 	}
 	return nil
 }

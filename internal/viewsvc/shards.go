@@ -1,0 +1,280 @@
+package viewsvc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ShardDirectory scales the view service from one replica set to a sharded
+// fleet: every shard is its own primary/backup pair drawn from a single
+// member pool, and every shard's view number is issued from one directory-
+// global epoch sequence. Global issuance makes epochs unique across the
+// whole fleet — a frame or ack stamped with an epoch names exactly one
+// (shard, configuration), so the split-brain gate needs no shard id on the
+// wire — while staying strictly increasing per shard, which is all the
+// receivers' staleness checks require.
+//
+// A node death is a *batch* reconfiguration: every shard where the dead node
+// held a seat reseats in one step (primary dead → backup promotes and a new
+// backup is recruited; backup dead → a new backup is recruited), each under
+// a freshly issued epoch. Recruitment is deterministic least-loaded: the
+// live node holding the fewest seats takes the vacancy, ties broken by join
+// order — so shard placement, and therefore the whole fleet simulation, is a
+// pure function of the join sequence and the failure schedule.
+//
+// Like Service, the directory is clock-injected and deliberately not itself
+// replicated: it plays the external management layer of the paper's §2 for
+// the fleet harness. Promotion licenses are per issued epoch (unique fleet-
+// wide), so the exactly-one-takeover guarantee holds per shard view.
+type ShardDirectory struct {
+	svc    *Service
+	epoch  uint64 // last issued epoch, shared by every shard
+	shards []View
+}
+
+// ShardChange describes one shard's reconfiguration after a node death.
+type ShardChange struct {
+	Shard    int
+	Old, New View
+}
+
+// NewShardDirectory builds an empty directory.
+func NewShardDirectory(cfg Config) *ShardDirectory {
+	return &ShardDirectory{svc: New(cfg)}
+}
+
+// Join registers a node (idempotent), as Service.Join. Joining after shards
+// are formed does not move any seats; the node waits as recruitable spare
+// capacity.
+func (d *ShardDirectory) Join(name string) { d.svc.Join(name) }
+
+// Ping records a heartbeat from name.
+func (d *ShardDirectory) Ping(name string) { d.svc.Ping(name) }
+
+// NumShards returns the shard count (0 before Form).
+func (d *ShardDirectory) NumShards() int {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	return len(d.shards)
+}
+
+// Form establishes n shards over the current live members, round-robin:
+// shard i's primary is the i-th live member (mod live count) and its backup
+// the next one. With m members each node starts with ~n/m primary seats and
+// ~n/m backup seats — the even spread that keeps a single node kill's blast
+// radius near 1/m of the fleet.
+func (d *ShardDirectory) Form(n int) ([]View, error) {
+	if n < 1 {
+		return nil, errors.New("viewsvc: shard count must be positive")
+	}
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	if len(d.shards) != 0 {
+		return nil, fmt.Errorf("viewsvc: %d shards already formed", len(d.shards))
+	}
+	var live []string
+	for _, name := range d.svc.order {
+		if m := d.svc.members[name]; !m.dead {
+			live = append(live, name)
+		}
+	}
+	if len(live) < 2 {
+		return nil, fmt.Errorf("viewsvc: forming shards needs >= 2 live members, have %d", len(live))
+	}
+	d.shards = make([]View, n)
+	for i := range d.shards {
+		d.epoch++
+		d.shards[i] = View{
+			Num:     d.epoch,
+			Primary: live[i%len(live)],
+			Backup:  live[(i+1)%len(live)],
+		}
+	}
+	return d.copyShardsLocked(), nil
+}
+
+// Shard returns shard i's current view.
+func (d *ShardDirectory) Shard(i int) View {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	if i < 0 || i >= len(d.shards) {
+		return View{}
+	}
+	return d.shards[i]
+}
+
+// Shards returns a copy of the full shard table.
+func (d *ShardDirectory) Shards() []View {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	return d.copyShardsLocked()
+}
+
+func (d *ShardDirectory) copyShardsLocked() []View {
+	out := make([]View, len(d.shards))
+	copy(out, d.shards)
+	return out
+}
+
+// ReportFailure declares dead failed (reporter must be a live member, as in
+// Service.ReportFailure) and reseats every shard where it held a seat. The
+// returned changes list every reconfiguration in shard order; an already-
+// dead node yields no changes.
+func (d *ShardDirectory) ReportFailure(reporter, dead string) ([]ShardChange, error) {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	r, ok := d.svc.members[reporter]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, reporter)
+	}
+	if r.dead {
+		return nil, fmt.Errorf("%w: %s", ErrDead, reporter)
+	}
+	m, ok := d.svc.members[dead]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, dead)
+	}
+	if m.dead {
+		return nil, nil
+	}
+	m.dead = true
+	return d.reseatShardsLocked(dead), nil
+}
+
+// Tick runs the ping-based failure detector once (Config.FailTimeout),
+// returning every reconfiguration it caused.
+func (d *ShardDirectory) Tick() []ShardChange {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	if d.svc.timeout <= 0 {
+		return nil
+	}
+	now := d.svc.clk.Now()
+	var changes []ShardChange
+	for _, name := range d.svc.order {
+		m := d.svc.members[name]
+		if !m.dead && now.Sub(m.lastPing) > d.svc.timeout {
+			m.dead = true
+			changes = append(changes, d.reseatShardsLocked(name)...)
+		}
+	}
+	return changes
+}
+
+// reseatShardsLocked reconfigures every shard where name held a seat.
+func (d *ShardDirectory) reseatShardsLocked(name string) []ShardChange {
+	var changes []ShardChange
+	for i := range d.shards {
+		old := d.shards[i]
+		if old.Primary != name && old.Backup != name {
+			continue
+		}
+		d.epoch++
+		next := View{Num: d.epoch}
+		if old.Primary == name {
+			next.Primary = old.Backup // promotion
+		} else {
+			next.Primary = old.Primary
+		}
+		if next.Primary != "" {
+			next.Backup = d.recruitLocked(next.Primary)
+		}
+		d.shards[i] = next
+		changes = append(changes, ShardChange{Shard: i, Old: old, New: next})
+	}
+	return changes
+}
+
+// recruitLocked picks the live node (other than exclude) currently holding
+// the fewest seats; ties break toward the oldest join. Returns "" when no
+// live node remains — the shard runs without a backup until one joins.
+func (d *ShardDirectory) recruitLocked(exclude string) string {
+	loads := make(map[string]int, len(d.svc.members))
+	for _, v := range d.shards {
+		if v.Primary != "" {
+			loads[v.Primary]++
+		}
+		if v.Backup != "" {
+			loads[v.Backup]++
+		}
+	}
+	best := ""
+	bestLoad := 0
+	for _, name := range d.svc.order {
+		if name == exclude {
+			continue
+		}
+		if m := d.svc.members[name]; m.dead {
+			continue
+		}
+		if best == "" || loads[name] < bestLoad {
+			best, bestLoad = name, loads[name]
+		}
+	}
+	return best
+}
+
+// AcquirePromotion is the per-shard takeover guard: the primary of shard's
+// current view calls it with the epoch it believes it leads before counting
+// any output as committed under that epoch. Exactly one acquisition per
+// issued epoch succeeds; the error taxonomy matches Service.AcquirePromotion.
+func (d *ShardDirectory) AcquirePromotion(node string, shard int, epoch uint64) error {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	m, ok := d.svc.members[node]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, node)
+	}
+	if m.dead {
+		return fmt.Errorf("%w: %s", ErrDead, node)
+	}
+	if shard < 0 || shard >= len(d.shards) {
+		return fmt.Errorf("viewsvc: no shard %d", shard)
+	}
+	v := d.shards[shard]
+	if epoch != v.Num {
+		return fmt.Errorf("%w: acquiring shard %d epoch %d, current is %d", ErrStaleView, shard, epoch, v.Num)
+	}
+	if v.Primary != node {
+		return fmt.Errorf("%w: %s acquiring shard %d led by %s", ErrNotPrimary, node, shard, v.Primary)
+	}
+	if by, dup := d.svc.claimed[epoch]; dup {
+		return fmt.Errorf("%w: shard %d epoch %d already acquired by %s", ErrAlreadyPromoted, shard, epoch, by)
+	}
+	d.svc.claimed[epoch] = node
+	return nil
+}
+
+// SeatCounts returns, per live node in join order, how many primary and
+// backup seats it holds — the balance the fleet's blast-radius report reads.
+func (d *ShardDirectory) SeatCounts() (names []string, primaries, backups []int) {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	pc := make(map[string]int)
+	bc := make(map[string]int)
+	for _, v := range d.shards {
+		pc[v.Primary]++
+		bc[v.Backup]++
+	}
+	for _, name := range d.svc.order {
+		if m := d.svc.members[name]; m.dead {
+			continue
+		}
+		names = append(names, name)
+		primaries = append(primaries, pc[name])
+		backups = append(backups, bc[name])
+	}
+	return names, primaries, backups
+}
+
+// Epoch returns the last issued epoch.
+func (d *ShardDirectory) Epoch() uint64 {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	return d.epoch
+}
+
+// FailTimeout returns the configured ping timeout (0 = disabled); the fleet
+// simulation schedules its detection events from it.
+func (d *ShardDirectory) FailTimeout() time.Duration { return d.svc.timeout }

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	prop := func(client, req, tenant uint64, op uint8, arg int64) bool {
+		in := &Request{Client: client, Req: req, Tenant: tenant, Op: op % opMax, Arg: arg}
+		out, err := DecodeRequest(EncodeRequest(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	prop := func(client, req uint64, status uint8, value int64, epoch uint64) bool {
+		in := &Reply{Client: client, Req: req, Status: status % statusMax, Value: value, Epoch: epoch}
+		out, err := DecodeReply(EncodeReply(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestStrict: truncations, trailing bytes, and out-of-range opcodes
+// must all reject — the fleet's request framing is exact, like frames/acks.
+func TestRequestStrict(t *testing.T) {
+	good := EncodeRequest(&Request{Client: 9, Req: 2, Tenant: 77, Op: OpAdd, Arg: 1234})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeRequest(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeRequest(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeRequest(EncodeRequest(&Request{Op: opMax + 3})); err == nil {
+		t.Fatal("out-of-range op accepted")
+	}
+}
+
+func TestReplyStrict(t *testing.T) {
+	good := EncodeReply(&Reply{Client: 9, Req: 2, Status: StatusOK, Value: -5, Epoch: 3})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeReply(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeReply(append(append([]byte{}, good...), 7)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeReply(EncodeReply(&Reply{Status: statusMax + 1})); err == nil {
+		t.Fatal("out-of-range status accepted")
+	}
+}
+
+// TestClientOpInLog: the dedup record rides the ordinary record stream
+// alongside every other record kind.
+func TestClientOpInLog(t *testing.T) {
+	var buf Buffer
+	ops := []*ClientOp{
+		{Client: 1, Req: 1, Tenant: 5, Op: OpAdd, Arg: 10, Result: 10},
+		{Client: 2, Req: 1, Tenant: 5, Op: OpAdd, Arg: -3, Result: 7},
+		{Client: 1, Req: 2, Tenant: 5, Op: OpGet, Arg: 0, Result: 7},
+	}
+	for _, op := range ops {
+		if err := buf.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decoded, err := DecodeAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(ops) {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(ops))
+	}
+	for i, r := range decoded {
+		got, ok := r.(*ClientOp)
+		if !ok || !reflect.DeepEqual(got, ops[i]) {
+			t.Fatalf("record %d: %#v != %#v", i, r, ops[i])
+		}
+	}
+}

@@ -26,6 +26,7 @@ const (
 	RecHeartbeat
 	RecHalt
 	RecLockInterval
+	RecClientOp
 )
 
 func (t RecType) String() string {
@@ -46,6 +47,8 @@ func (t RecType) String() string {
 		return "halt"
 	case RecLockInterval:
 		return "lockinterval"
+	case RecClientOp:
+		return "clientop"
 	default:
 		return "invalid"
 	}
@@ -162,6 +165,25 @@ type OutputIntent struct {
 // Type implements Record.
 func (*OutputIntent) Type() RecType { return RecOutputIntent }
 
+// ClientOp records one executed client request: which client asked, the
+// request's per-client sequence number, the tenant it addressed, the
+// operation, and the result the primary computed. It is the at-most-once
+// dedup table riding the replication log — a backup that replays its log
+// rebuilds, besides every tenant's state, the (client → last request, last
+// result) table, so a retry that crosses a failover is answered from the log
+// instead of being executed a second time.
+type ClientOp struct {
+	Client uint64
+	Req    uint64
+	Tenant uint64
+	Op     uint8
+	Arg    int64
+	Result int64
+}
+
+// Type implements Record.
+func (*ClientOp) Type() RecType { return RecClientOp }
+
 // Heartbeat carries liveness from primary to backup.
 type Heartbeat struct {
 	Seq uint64
@@ -254,6 +276,13 @@ func (w *Buffer) Append(r Record) error {
 		w.str(rec.TID)
 		w.uv(rec.StartTASN)
 		w.uv(rec.Count)
+	case *ClientOp:
+		w.uv(rec.Client)
+		w.uv(rec.Req)
+		w.uv(rec.Tenant)
+		w.u8(rec.Op)
+		w.sv(rec.Arg)
+		w.sv(rec.Result)
 	case *Heartbeat:
 		w.uv(rec.Seq)
 	case *Halt:
@@ -399,6 +428,8 @@ func (d *Decoder) Next() (Record, error) {
 		r = &OutputIntent{TID: d.str(), NatSeq: d.uv(), Sig: d.str(), OutSeq: d.uv(), HandlerData: d.bytes()}
 	case RecLockInterval:
 		r = &LockInterval{TID: d.str(), StartTASN: d.uv(), Count: d.uv()}
+	case RecClientOp:
+		r = &ClientOp{Client: d.uv(), Req: d.uv(), Tenant: d.uv(), Op: d.u8(), Arg: d.sv(), Result: d.sv()}
 	case RecHeartbeat:
 		r = &Heartbeat{Seq: d.uv()}
 	case RecHalt:

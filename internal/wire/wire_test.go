@@ -22,6 +22,7 @@ func sampleRecords() []Record {
 			HandlerData: []byte{1, 2, 3},
 		},
 		&OutputIntent{TID: "0", NatSeq: 1, Sig: "io.print", OutSeq: 12, HandlerData: nil},
+		&ClientOp{Client: 1_000_003, Req: 4, Tenant: 999, Op: OpAdd, Arg: -17, Result: 25},
 		&Heartbeat{Seq: 8},
 		&Halt{},
 	}
