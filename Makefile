@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke replay-seeds
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke consensus-smoke replay-seeds
 
 build:
 	$(GO) build ./...
@@ -47,13 +47,24 @@ fleet-smoke:
 	$(GO) run ./cmd/ftvm-sim -fleet -progs 2
 	$(GO) run ./cmd/ftvm-fleet -clients 100000 -nodes 5 -shards 16 -kills n2@800ms
 
+# Consensus-backend smoke: the VM over the 3-replica replicated log —
+# leader kills mid-commit, follower kills, partition windows, stale-term
+# injections, contested elections — plus the 4-column differential smoke
+# (standalone / pair / pair-failover / consensus must be bit-identical;
+# part of the fuzzgen short suite, pinned here so the backend cannot be
+# silently dropped from the gate). Fully virtual-time.
+consensus-smoke:
+	$(GO) run ./cmd/ftvm-sim -consensus -progs 2 -nets 1
+	$(GO) test -short -run TestDifferentialSmoke ./internal/fuzzgen
+
 # Replay the regression tables of historical failure classes under the
 # deterministic harness: the pair table (PR 1-3 bugs), the view-change
-# table (epoch/promotion bugs), and the fleet table (at-most-once /
-# state-transfer bugs). See internal/simtest/replayseeds_test.go,
-# viewsweep_test.go, and fleetsweep_test.go.
+# table (epoch/promotion bugs), the fleet table (at-most-once /
+# state-transfer bugs), and the consensus table (leader-kill-mid-commit /
+# stale-term / split-vote classes). See internal/simtest/replayseeds_test.go,
+# viewsweep_test.go, fleetsweep_test.go, and consensusreplayseeds_test.go.
 replay-seeds:
-	$(GO) test -run 'TestReplaySeeds|TestViewReplaySeeds|TestFleetReplaySeeds' -v ./internal/simtest
+	$(GO) test -run 'TestReplaySeeds|TestViewReplaySeeds|TestFleetReplaySeeds|TestConsensusReplaySeeds' -v ./internal/simtest
 
 # Bounded fuzzing pass: the differential smoke quota (a few hundred generated
 # programs cross-checked standalone/replicated/failover) plus a short burst of
@@ -63,7 +74,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke
+check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke consensus-smoke
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all

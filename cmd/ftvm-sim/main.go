@@ -12,9 +12,11 @@
 //	ftvm-sim -trace sweep.txt           # write the deterministic trace
 //	ftvm-sim -view                      # three-node view-change sweep
 //	ftvm-sim -fleet                     # sharded-fleet kill x fault sweep
+//	ftvm-sim -consensus                 # replicated-log (consensus backend) sweep
 //	ftvm-sim -replay "prog=7,size=small,mode=sched,kill=12,deliver=1,fault=none@0,net=3,reorder=1/8"
 //	ftvm-sim -replay "prog=3,size=small,mode=lock,kill1=4,d1=0,kill2=1,d2=0,fault=none@0,inject=1,net=5,reorder=1/8"
 //	ftvm-sim -replay "seed=3,nodes=4,shards=8,clients=1000,ops=3,ka=3@250,kb=0@0,fault=ackdrop/13,inject=0"
+//	ftvm-sim -replay "prog=1,size=small,mode=lock,who=leader,kill=5,deliver=1,part=0+0,inject=0,fault=none@0,eseed=1,net=1,reorder=1/8"
 //
 // With -view the sweep runs the three-node cluster (internal/simtest's view
 // service): the first primary is killed, the promoted backup recruits the
@@ -24,9 +26,18 @@
 // With -fleet the sweep runs the sharded multi-tenant fleet (internal/fleet)
 // under its seeded open-loop load generator: node kills mid-window, faults on
 // the replication hop, double kills, and stale-epoch probes, with every
-// request checked for at-most-once execution against the model. -replay
-// dispatches on the key format itself (a "clients=" field means a fleet
-// combo; otherwise "kill1=" means a view combo).
+// request checked for at-most-once execution against the model.
+//
+// With -consensus the sweep runs the VM over the consensus-backed replicated
+// log (internal/consensus behind replication.CoordinationBackend): a
+// three-replica Raft-style cluster commits every frame batch by majority
+// before outputs release, and schedules kill the leader mid-commit, kill
+// followers, open finite partition windows on the leader lane, inject
+// stale-term frames, and vary the election seed to force contested votes.
+//
+// -replay dispatches on the key format itself: a "clients=" field means a
+// fleet combo, "who=" means a consensus combo, "kill1=" means a view combo,
+// and anything else is a pair combo.
 //
 // On any divergence the sweep prints the failing combo's trace line and the
 // single -replay string that reproduces it; exit status is non-zero.
@@ -64,6 +75,7 @@ func run() error {
 		view     = flag.Bool("view", false, "sweep the three-node view-change cluster instead of the pair")
 		fleetSw  = flag.Bool("fleet", false, "sweep the sharded multi-tenant fleet instead of the pair")
 		clients  = flag.Int("clients", 1000, "clients per fleet combo (with -fleet)")
+		consens  = flag.Bool("consensus", false, "sweep the consensus-backed replicated log instead of the pair")
 	)
 	flag.Parse()
 
@@ -108,6 +120,15 @@ func run() error {
 	if *fleetSw {
 		cfg := simtest.FleetSweepConfig{Seeds: progSeeds, Clients: *clients}
 		res := simtest.RunFleetSweep(cfg, logf)
+		combos, elapsed, trace = res.Combos, res.Elapsed, res.Trace
+		for _, f := range res.Failures {
+			failures = append(failures, fmt.Sprintf("FAIL %s\n  replay: %s", f.TraceLine(), f.ReplayCommand()))
+		}
+	} else if *consens {
+		cfg := simtest.ConsensusSweepConfig{
+			Size: size, ProgSeeds: progSeeds, NetSeeds: netSeeds, KillSends: killSends,
+		}
+		res := simtest.RunConsensusSweep(cfg, logf)
 		combos, elapsed, trace = res.Combos, res.Elapsed, res.Trace
 		for _, f := range res.Failures {
 			failures = append(failures, fmt.Sprintf("FAIL %s\n  replay: %s", f.TraceLine(), f.ReplayCommand()))
@@ -170,7 +191,14 @@ func runReplay(key string) error {
 		}
 		return nil
 	}
-	if simtest.IsViewKey(key) {
+	if simtest.IsConsensusKey(key) {
+		cb, perr := simtest.ParseConsensusCombo(key)
+		if perr != nil {
+			return perr
+		}
+		out := simtest.RunConsensusCombo(cb, nil, nil)
+		line, detail, err, ref, console = out.TraceLine(), out.Detail, out.Err, out.Ref, out.Console
+	} else if simtest.IsViewKey(key) {
 		cb, perr := simtest.ParseViewCombo(key)
 		if perr != nil {
 			return perr

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/consensus"
 	"repro/internal/env"
 	"repro/internal/minilang"
 	"repro/internal/native"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/simtest/clock"
 	"repro/internal/transport"
 	"repro/internal/vm"
+	"repro/internal/wire"
 )
 
 // Program is a verified FTVM program.
@@ -60,6 +62,23 @@ const (
 // stopped acknowledging within Options.AckTimeout (or its transport failed).
 // Returned (wrapped) from replicated runs unless DegradeOnBackupLoss is set.
 var ErrBackupLost = replication.ErrBackupLost
+
+// BackendKind selects how the primary's frame stream reaches a durable,
+// ordered, committed log (the replication.CoordinationBackend behind a
+// replicated run).
+type BackendKind int
+
+const (
+	// BackendPair is the paper's primary/backup pair: one cold backup logs
+	// frames and acknowledges output commits (default).
+	BackendPair BackendKind = iota
+	// BackendConsensus replicates frames onto a 3-replica consensus log; an
+	// output commit blocks until majority commit in the leader's term
+	// (internal/consensus). The VM is colocated with the elected leader, and
+	// RunWithFailover kills leader and VM together: the survivors elect,
+	// re-commit, and recovery replays their committed prefix.
+	BackendConsensus
+)
 
 // CompileSource compiles minilang source into a program.
 func CompileSource(name, src string) (*Program, error) {
@@ -113,6 +132,14 @@ type Options struct {
 	DegradeOnBackupLoss bool
 	// PipeCapacity sizes the in-process log channel (default 1024 frames).
 	PipeCapacity int
+	// Backend selects the coordination path for replicated runs (default
+	// BackendPair). BackendConsensus ignores Heartbeat (leader keepalives
+	// live inside the consensus replicas) and reads AckTimeout as the bound
+	// on each majority-commit wait.
+	Backend BackendKind
+	// ConsensusSeed pins the consensus cluster's randomized election
+	// schedule (default 1; only meaningful with BackendConsensus).
+	ConsensusSeed uint64
 	// NetPerMsg/NetPerKB add a calibrated cost to every transport message,
 	// simulating the paper's testbed network (two machines on 100 Mbps
 	// Ethernet) on a single host. Zero means a raw in-process pipe.
@@ -218,6 +245,9 @@ type ReplicatedResult struct {
 	Killed          bool
 	Recovery        *replication.RecoveryReport
 	RecoveryElapsed time.Duration
+	// Consensus holds per-replica protocol counters when the run used
+	// BackendConsensus (nil for pair runs).
+	Consensus []consensus.Stats
 }
 
 // KillTrigger decides when to kill the primary in RunWithFailover: it is
@@ -247,6 +277,10 @@ func RunWithFailover(prog *Program, mode Mode, trigger KillTrigger, opts Options
 }
 
 func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) (*ReplicatedResult, error) {
+	if opts.Backend == BackendConsensus {
+		res, _, err := runConsensus(prog, mode, opts, trigger)
+		return res, err
+	}
 	opts.fill()
 	clk := opts.clock()
 	environ := opts.environment()
@@ -382,6 +416,9 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 	if envFactory == nil {
 		return nil, nil, errors.New("ftvm: nil environment factory")
 	}
+	if opts.Backend == BackendConsensus {
+		return measureConsensusReplay(prog, mode, opts, envFactory)
+	}
 	opts.fill()
 	clk := opts.clock()
 	opts.Env = envFactory()
@@ -447,6 +484,215 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		return res, nil, err
 	}
 	if err := replayBackup.LoadRecords(backup.Store().Records()); err != nil {
+		return res, nil, err
+	}
+	r0 := clk.Now()
+	_, report, err := replayBackup.Recover(replication.RecoverConfig{
+		Program:         prog,
+		Env:             envFactory(),
+		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+	})
+	replay := &ReplayResult{Elapsed: clk.Since(r0), Report: report}
+	if err != nil {
+		return res, replay, fmt.Errorf("replay: %w", err)
+	}
+	return res, replay, nil
+}
+
+// consensusLeaderWait bounds each leader-election wait in the consensus
+// path; generous because on a virtual clock it costs nothing and on the wall
+// clock elections settle in tens of milliseconds.
+const consensusLeaderWait = 10 * time.Second
+
+// runConsensus is runReplicated over the consensus coordination path: a
+// 3-replica replicated log stands where the pair's backup channel stood, the
+// VM runs colocated with the elected leader, and a kill takes out VM and
+// leader together. It also returns the committed record stream (from a
+// surviving replica) so MeasureReplay can re-execute it.
+func runConsensus(prog *Program, mode Mode, opts Options, trigger KillTrigger) (*ReplicatedResult, []wire.Record, error) {
+	opts.fill()
+	clk := opts.clock()
+	environ := opts.environment()
+	cluster, err := consensus.NewCluster(consensus.Config{
+		Seed:         opts.ConsensusSeed,
+		Clock:        opts.Clock,
+		PipeCapacity: opts.PipeCapacity,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	leader, err := cluster.WaitLeader(consensusLeaderWait)
+	if err != nil {
+		return nil, nil, err
+	}
+	be := consensus.NewBackend(leader, opts.AckTimeout)
+	primary, err := replication.NewPrimary(replication.PrimaryConfig{
+		Mode:                mode,
+		Backend:             be,
+		Policy:              vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum),
+		FlushEvery:          opts.FlushEvery,
+		DegradeOnBackupLoss: opts.DegradeOnBackupLoss,
+		Clock:               opts.Clock,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	machine, err := vm.New(vm.Config{
+		Program:         prog,
+		Env:             environ,
+		Coordinator:     primary,
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+		TrackProgress:   mode == ModeSched,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The kill trigger counts committed records — the consensus analogue of
+	// "records the backup has logged" — by incrementally decoding committed
+	// entry payloads at the leader.
+	runDone := clock.NewFlag(clk)
+	killDone := clock.NewFlag(clk)
+	if trigger != nil {
+		clk.Go(func() {
+			defer killDone.Set()
+			var seen uint64
+			count := 0
+			for !runDone.IsSet() {
+				payloads, commit := cluster.CommittedPayloads(leader.ID(), seen)
+				seen = commit
+				for _, p := range payloads {
+					if recs, derr := wire.DecodeAll(p); derr == nil {
+						count += len(recs)
+					}
+				}
+				if trigger(count) {
+					// The process hosting both the VM and the leader replica
+					// fail-stops; the survivors must elect and recover.
+					machine.Kill()
+					cluster.Kill(leader.ID())
+					return
+				}
+				clk.Sleep(50 * time.Microsecond)
+			}
+		})
+	} else {
+		killDone.Set()
+	}
+
+	t0 := clk.Now()
+	runErr := machine.Run()
+	elapsed := clk.Since(t0)
+	runDone.Set()
+	killDone.Wait()
+
+	res := &ReplicatedResult{
+		Stats:   machine.Stats(),
+		Console: environ.Console().Lines(),
+		Elapsed: elapsed,
+		Env:     environ,
+		Primary: primary.Metrics(),
+		Killed:  machine.Killed(),
+	}
+	for i := 0; i < cluster.Size(); i++ {
+		res.Consensus = append(res.Consensus, cluster.Replica(i).Snapshot())
+	}
+
+	// Read the committed log back from a surviving replica — after a kill
+	// that means waiting out a fresh election (whose barrier commit fences
+	// every entry that survived).
+	source := leader
+	if source.Stopped() {
+		source, err = cluster.WaitLeader(consensusLeaderWait)
+		if err != nil {
+			detail := ""
+			for i := 0; i < cluster.Size(); i++ {
+				detail += fmt.Sprintf(" [%d %+v stopped=%v]", i, cluster.Replica(i).Snapshot(), cluster.Replica(i).Stopped())
+			}
+			return res, nil, fmt.Errorf("consensus failover: %w;%s", err, detail)
+		}
+	}
+	recs, err := cluster.CommittedRecords(source.ID())
+	if err != nil {
+		return res, nil, fmt.Errorf("consensus log: %w", err)
+	}
+	res.Backup = replication.BackupStats{RecordsLogged: uint64(len(recs))}
+	halted := false
+	for _, r := range recs {
+		if _, ok := r.(*wire.Halt); ok {
+			halted = true
+		}
+	}
+
+	if runErr != nil && !machine.Killed() {
+		res.Outcome = replication.OutcomePrimaryFailed
+		return res, recs, fmt.Errorf("primary run: %w", runErr)
+	}
+	if trigger == nil {
+		if !halted {
+			res.Outcome = replication.OutcomePrimaryFailed
+			return res, recs, errors.New("consensus run finished without a committed halt")
+		}
+		res.Outcome = replication.OutcomePrimaryCompleted
+		return res, recs, nil
+	}
+	// Same race as the pair path: a committed halt means every output commit
+	// succeeded before the kill landed, so the run counts as completed.
+	if !machine.Killed() || halted {
+		res.Outcome = replication.OutcomePrimaryCompleted
+		return res, recs, nil
+	}
+
+	// Recovery: load the survivors' committed prefix into a cold backup and
+	// re-execute log-gated against the same environment, exactly as a
+	// promoted pair backup would.
+	res.Outcome = replication.OutcomePrimaryFailed
+	replayBackup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: nopEndpoint{}})
+	if err != nil {
+		return res, recs, err
+	}
+	if err := replayBackup.LoadRecords(recs); err != nil {
+		return res, recs, fmt.Errorf("consensus recovery load: %w", err)
+	}
+	r0 := clk.Now()
+	_, report, err := replayBackup.Recover(replication.RecoverConfig{
+		Program:         prog,
+		Env:             environ,
+		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
+		GCThreshold:     opts.GCThreshold,
+		MaxInstructions: opts.MaxInstructions,
+	})
+	res.RecoveryElapsed = clk.Since(r0)
+	res.Recovery = report
+	res.Console = environ.Console().Lines()
+	res.Backup = replayBackup.Stats()
+	if err != nil {
+		return res, recs, fmt.Errorf("recovery: %w", err)
+	}
+	return res, recs, nil
+}
+
+// measureConsensusReplay is MeasureReplay over the consensus path: a clean
+// consensus-backed run, then a full replay of the committed record stream at
+// a fresh backup over a fresh environment.
+func measureConsensusReplay(prog *Program, mode Mode, opts Options, envFactory func() *env.Env) (*ReplicatedResult, *ReplayResult, error) {
+	opts.fill()
+	clk := opts.clock()
+	opts.Env = envFactory()
+	res, recs, err := runConsensus(prog, mode, opts, nil)
+	if err != nil {
+		return res, nil, err
+	}
+	replayBackup, err := replication.NewBackup(replication.BackupConfig{Mode: mode, Endpoint: nopEndpoint{}})
+	if err != nil {
+		return res, nil, err
+	}
+	if err := replayBackup.LoadRecords(recs); err != nil {
 		return res, nil, err
 	}
 	r0 := clk.Now()

@@ -49,11 +49,34 @@ const (
 // FaultKinds lists every valid Config.Fault value.
 var FaultKinds = []string{FaultNone, FaultFrameDrop, FaultAckDrop, FaultReplyDrop}
 
+// Coordination backends selectable per fleet (Config.Backend) — the fleet
+// face of the replication.CoordinationBackend split: the same client
+// protocol and verifier run over either commit rule.
+const (
+	// BackendPair is the paper's pair per shard: one backup, commit = its ack.
+	BackendPair = "pair"
+	// BackendQuorum seats a third, fleet-managed witness replica per shard and
+	// commits an operation once the primary plus any one peer hold it (2 of
+	// 3). A frame lost toward one peer no longer stalls the shard: the op
+	// commits through the other, and the lagging peer is repaired by shipping
+	// it the missing record suffix on the next operation (per-peer catch-up).
+	// Promotion adopts the longest surviving peer log, which by the commit
+	// rule contains every committed operation.
+	BackendQuorum = "quorum"
+)
+
+// Backends lists every valid Config.Backend value.
+var Backends = []string{BackendPair, BackendQuorum}
+
 // Config describes a fleet.
 type Config struct {
 	Clock  clock.Clock
 	Nodes  []string // node names, join order; need >= 2
 	Shards int      // shard count; tenant t lives on shard t % Shards
+	// Backend selects the per-shard coordination path (default BackendPair).
+	// BackendQuorum needs a third live node per shard to seat its witness;
+	// with none available the shard runs on whatever peers exist.
+	Backend string
 	// Fault and FaultEvery inject one fault kind on every FaultEvery-th
 	// replication attempt (0 = no faults).
 	Fault      string
@@ -89,6 +112,9 @@ func (c *Config) fill() {
 	}
 	if c.Fault == "" {
 		c.Fault = FaultNone
+	}
+	if c.Backend == "" {
+		c.Backend = BackendPair
 	}
 }
 
@@ -148,6 +174,15 @@ func New(cfg Config) (*Fleet, error) {
 	if !validFault {
 		return nil, fmt.Errorf("fleet: unknown fault kind %q", cfg.Fault)
 	}
+	validBackend := false
+	for _, k := range Backends {
+		if cfg.Backend == k {
+			validBackend = true
+		}
+	}
+	if !validBackend {
+		return nil, fmt.Errorf("fleet: unknown backend %q", cfg.Backend)
+	}
 	if len(cfg.Nodes) < 2 {
 		return nil, fmt.Errorf("fleet: need >= 2 nodes, have %d", len(cfg.Nodes))
 	}
@@ -177,7 +212,79 @@ func New(cfg Config) (*Fleet, error) {
 		f.nodes[v.Primary].replicas[i] = pri
 		f.nodes[v.Backup].replicas[i] = bak
 	}
+	if cfg.Backend == BackendQuorum {
+		for i, v := range views {
+			pri := f.nodes[v.Primary].replicas[i]
+			wit := f.recruitWitness(pri, v.Num)
+			setLinks(pri, f.nodes[v.Backup].replicas[i], wit)
+		}
+	}
 	return f, nil
+}
+
+// witnessNode picks the node to seat a witness for shard on: alive, hosting
+// no replica of this shard already, carrying the fewest replicas overall
+// (ties resolve in join order). "" when every live node already holds the
+// shard.
+func (f *Fleet) witnessNode(shard int) string {
+	best, bestLoad := "", 0
+	for _, name := range f.order {
+		n := f.nodes[name]
+		if !n.Alive || n.replicas[shard] != nil {
+			continue
+		}
+		if best == "" || len(n.replicas) < bestLoad {
+			best, bestLoad = name, len(n.replicas)
+		}
+	}
+	return best
+}
+
+// recruitWitness seats a fresh witness for pri's shard under epoch, seeded
+// with a snapshot of the primary's log. Nil when no node can host one — the
+// shard then runs on whatever peers remain.
+func (f *Fleet) recruitWitness(pri *replica, epoch uint64) *replica {
+	name := f.witnessNode(pri.shard)
+	if name == "" {
+		return nil
+	}
+	w := newReplica(pri.shard, epoch, roleWitness)
+	w.log = append(w.log, pri.log...)
+	w.logged = pri.logged
+	f.nodes[name].replicas[pri.shard] = w
+	if pri.logged > 0 {
+		f.counters.Transfers++
+	}
+	return w
+}
+
+// findWitness returns shard's live witness replica and its host node.
+func (f *Fleet) findWitness(shard int) (*replica, string) {
+	for _, name := range f.order {
+		n := f.nodes[name]
+		if !n.Alive {
+			continue
+		}
+		if r := n.replicas[shard]; r != nil && r.role == roleWitness {
+			return r, name
+		}
+	}
+	return nil, ""
+}
+
+// setLinks rebuilds pri's quorum shipping channels (backup first, witness
+// second). Every link restarts under the primary's epoch and records what its
+// peer already holds, so a surviving or snapshot-seeded peer needs no special
+// handshake — the next ship carries exactly its missing suffix.
+func setLinks(pri *replica, peers ...*replica) {
+	pri.links = pri.links[:0]
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.epoch = pri.epoch
+		pri.links = append(pri.links, &peerLink{rep: p, recs: p.logged})
+	}
 }
 
 // NumShards returns the shard count.
@@ -339,6 +446,9 @@ func (f *Fleet) strike() bool {
 // running without a backup (recruitment found no live node) degrades to
 // primary-only: the op commits locally, like the paper's degraded mode.
 func (f *Fleet) replicate(r *replica, rec *wire.ClientOp, fresh bool) (time.Duration, bool) {
+	if f.cfg.Backend == BackendQuorum {
+		return f.replicateQuorum(r)
+	}
 	bak := r.peer
 	if bak == nil {
 		return f.cfg.OpCost, true
@@ -367,6 +477,54 @@ func (f *Fleet) replicate(r *replica, rec *wire.ClientOp, fresh bool) (time.Dura
 		return f.cfg.AckTimeout, false
 	}
 	r.seq = seq
+	return 2 * f.cfg.RepDelay, true
+}
+
+// replicateQuorum ships every link its missing log suffix and reports commit
+// under the 2-of-3 rule: the operation commits once any peer acks holding the
+// full log (the primary is the second copy). The record to replicate is
+// already appended to r.log — the log, not the argument, is the authority, so
+// the same path serves fresh operations and head-of-line retransmissions.
+// With no links at all the shard is fully degraded and commits locally, like
+// the pair's degraded mode.
+func (f *Fleet) replicateQuorum(r *replica) (time.Duration, bool) {
+	if len(r.links) == 0 {
+		return f.cfg.OpCost, true
+	}
+	acked := 0
+	for _, ln := range r.links {
+		if ln.recs >= r.logged {
+			acked++
+			continue
+		}
+		frame := &wire.Frame{Seq: uint64(ln.recs), Epoch: r.epoch, AckWanted: true, Payload: r.suffixFrom(ln.recs)}
+		b := wire.EncodeFrame(frame)
+		if f.cfg.Fault == FaultFrameDrop && f.strike() {
+			f.counters.FramesDropped++
+			continue
+		}
+		ack, _ := ln.rep.deliverQuorumFrame(f, b)
+		if ack == nil {
+			continue
+		}
+		if f.cfg.Fault == FaultAckDrop && f.strike() {
+			f.counters.AcksDropped++
+			continue
+		}
+		epoch, held, err := wire.DecodeAck(ack)
+		if err != nil || epoch != r.epoch {
+			continue
+		}
+		if int(held) > ln.recs {
+			ln.recs = int(held)
+		}
+		if ln.recs >= r.logged {
+			acked++
+		}
+	}
+	if acked == 0 {
+		return f.cfg.AckTimeout, false
+	}
 	return 2 * f.cfg.RepDelay, true
 }
 
@@ -402,13 +560,39 @@ func (f *Fleet) Kill(name string) ([]viewsvc.ShardChange, error) {
 	for _, ch := range changes {
 		f.reseat(ch, name, now)
 	}
+	if f.cfg.Backend == BackendQuorum {
+		f.rewitness(name)
+	}
 	return changes, nil
+}
+
+// rewitness replaces every witness the dead node hosted for shards whose
+// directory seats survived (reseat already rebuilt the reconfigured ones).
+// Shards are swept in order so the replacement seating is deterministic.
+func (f *Fleet) rewitness(dead string) {
+	n := f.nodes[dead]
+	for shard := 0; shard < f.cfg.Shards; shard++ {
+		r := n.replicas[shard]
+		if r == nil || r.role != roleWitness {
+			continue
+		}
+		delete(n.replicas, shard)
+		v := f.dir.Shard(shard)
+		pri := f.nodes[v.Primary].replicas[shard]
+		setLinks(pri, pri.peer, f.recruitWitness(pri, pri.epoch))
+	}
 }
 
 // reseat applies one directory reconfiguration to the replica seating.
 func (f *Fleet) reseat(ch viewsvc.ShardChange, dead string, now time.Time) {
 	shard := ch.Shard
 	delete(f.nodes[dead].replicas, shard)
+	quorum := f.cfg.Backend == BackendQuorum
+	var wit *replica
+	var witNode string
+	if quorum {
+		wit, witNode = f.findWitness(shard)
+	}
 	var pri *replica
 	if ch.Old.Primary == dead {
 		// The backup promotes: acquire the exactly-once license for the new
@@ -417,6 +601,14 @@ func (f *Fleet) reseat(ch viewsvc.ShardChange, dead string, now time.Time) {
 		pri = f.nodes[ch.Old.Backup].replicas[shard]
 		if pri == nil {
 			panic(fmt.Sprintf("fleet: shard %d backup %s has no replica", shard, ch.Old.Backup))
+		}
+		if wit != nil && wit.logged > pri.logged {
+			// Max-log promotion: the witness out-logged the backup, so it
+			// holds committed operations the backup missed. Peer logs are
+			// byte-prefixes of the dead primary's, so adopting the longer one
+			// is a merge.
+			pri.log = append(pri.log[:0], wit.log...)
+			pri.logged = wit.logged
 		}
 		if err := f.dir.AcquirePromotion(ch.New.Primary, shard, ch.New.Num); err != nil {
 			panic(fmt.Sprintf("fleet: promotion license for shard %d: %v", shard, err))
@@ -434,17 +626,33 @@ func (f *Fleet) reseat(ch viewsvc.ShardChange, dead string, now time.Time) {
 		pri.seq = 0
 	}
 	pri.peer = nil
+	var bak *replica
 	if ch.New.Backup != "" {
-		// Recruit by state transfer: the new backup receives a snapshot of
-		// the primary's full log (its replay-equivalent state) and starts
-		// its gate fresh under the new epoch.
-		bak := newReplica(shard, ch.New.Num, roleBackup)
-		bak.log = append(bak.log, pri.log...)
-		bak.logged = pri.logged
+		if quorum && witNode == ch.New.Backup {
+			// The directory seated the backup chair on the witness's node:
+			// the witness converts in place — it already holds a log prefix,
+			// so the link repairs it by suffix instead of a snapshot.
+			wit.role = roleBackup
+			bak = wit
+			wit, witNode = nil, ""
+		} else {
+			// Recruit by state transfer: the new backup receives a snapshot
+			// of the primary's full log (its replay-equivalent state) and
+			// starts its gate fresh under the new epoch.
+			bak = newReplica(shard, ch.New.Num, roleBackup)
+			bak.log = append(bak.log, pri.log...)
+			bak.logged = pri.logged
+			f.nodes[ch.New.Backup].replicas[shard] = bak
+			f.counters.Transfers++
+		}
 		bak.peer = pri
 		pri.peer = bak
-		f.nodes[ch.New.Backup].replicas[shard] = bak
-		f.counters.Transfers++
+	}
+	if quorum {
+		if wit == nil {
+			wit = f.recruitWitness(pri, ch.New.Num)
+		}
+		setLinks(pri, bak, wit)
 	}
 	// The snapshot transfer (or, with no recruit, the degraded local-only
 	// mode) leaves every logged record replicated as far as the new
@@ -475,6 +683,11 @@ func (f *Fleet) InjectStaleFrame(shard int, staleEpoch uint64) bool {
 	var payload wire.Buffer
 	if err := payload.Append(rec); err != nil {
 		panic(err)
+	}
+	if f.cfg.Backend == BackendQuorum {
+		b := wire.EncodeFrame(&wire.Frame{Seq: uint64(bak.logged), Epoch: staleEpoch, AckWanted: true, Payload: payload.Bytes()})
+		_, logged := bak.deliverQuorumFrame(f, b)
+		return logged
 	}
 	b := wire.EncodeFrame(&wire.Frame{Seq: bak.gate.Last() + 1, Epoch: staleEpoch, AckWanted: true, Payload: payload.Bytes()})
 	_, logged := bak.deliverFrame(f, b)

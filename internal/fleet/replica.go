@@ -12,7 +12,24 @@ type role uint8
 const (
 	rolePrimary role = iota
 	roleBackup
+	// roleWitness is the quorum backend's third log holder: it consumes
+	// frames exactly like a backup but is never seated by the directory and
+	// never promotes directly — at most it converts to roleBackup when the
+	// directory reseats the backup chair onto its node.
+	roleWitness
 )
+
+// peerLink is the primary's shipping state toward one log-holding peer. The
+// quorum link speaks record high-water marks rather than per-frame
+// stop-and-wait: each frame's Seq is the absolute index of its first record,
+// the peer appends only the tail beyond what it holds, and the ack's
+// sequence field carries the records now held — so a retransmission after a
+// lost ack advances the link instead of desyncing it, and a lagging peer is
+// repaired by one catch-up frame carrying its missing suffix.
+type peerLink struct {
+	rep  *replica
+	recs int // records the peer held at its last ack
+}
 
 // dedupEntry is one client's at-most-once state: the highest request id seen,
 // its result, and whether the output-commit completed (the backup acked the
@@ -37,9 +54,15 @@ type replica struct {
 	peer  *replica // nil while the shard runs degraded without a backup
 
 	// Primary side.
-	seq   uint64 // last acknowledged stop-and-wait sequence
+	seq   uint64 // last acknowledged stop-and-wait sequence (pair backend)
 	state map[uint64]int64
 	dedup map[uint64]*dedupEntry
+	// links are the quorum backend's per-peer shipping channels (backup
+	// first, then witness; empty in pair mode and when fully degraded).
+	links []*peerLink
+	// recOffsets[i] is record i's byte offset in log, kept so a lagging
+	// link's missing suffix can be cut without re-decoding (quorum backend).
+	recOffsets []int
 	// pending is the shard's head-of-line executed-and-logged-but-unacked
 	// entry. Stop-and-wait admits at most one: a fresh operation must flush
 	// it (retransmit until acked) before executing, or the shard stalls.
@@ -73,8 +96,42 @@ func (r *replica) appendLog(rec *wire.ClientOp) {
 	if err := r.enc.Append(rec); err != nil {
 		panic(fmt.Sprintf("fleet: encode log record: %v", err))
 	}
+	r.recOffsets = append(r.recOffsets, len(r.log))
 	r.log = append(r.log, r.enc.Bytes()...)
 	r.logged++
+}
+
+// rebuildOffsets recomputes recOffsets from the log bytes by re-encoding each
+// decoded record (the encoding is deterministic, so the lengths match the
+// stored bytes). A replica needs offsets only once it serves as primary; logs
+// adopted at promotion arrive without them.
+func (r *replica) rebuildOffsets() {
+	recs, err := wire.DecodeAll(r.log)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: rebuilding offsets over undecodable shard %d log: %v", r.shard, err))
+	}
+	r.recOffsets = r.recOffsets[:0]
+	off := 0
+	for _, rec := range recs {
+		r.recOffsets = append(r.recOffsets, off)
+		r.enc.Reset()
+		if err := r.enc.Append(rec); err != nil {
+			panic(fmt.Sprintf("fleet: re-encode log record: %v", err))
+		}
+		off += len(r.enc.Bytes())
+	}
+	if off != len(r.log) {
+		panic(fmt.Sprintf("fleet: shard %d offset rebuild covered %d of %d log bytes", r.shard, off, len(r.log)))
+	}
+}
+
+// suffixFrom returns the encoded records from index rec onward — the catch-up
+// payload for a link whose peer last acked holding rec records.
+func (r *replica) suffixFrom(rec int) []byte {
+	if rec >= r.logged {
+		return nil
+	}
+	return r.log[r.recOffsets[rec]:]
 }
 
 // deliverFrame is the backup's receive path: decode the frame, gate it on the
@@ -114,6 +171,43 @@ func (r *replica) deliverFrame(f *Fleet, b []byte) (ack []byte, logged bool) {
 	return nil, true
 }
 
+// deliverQuorumFrame is the quorum peer's receive path: gate on the epoch,
+// then treat frame.Seq as the absolute index of the payload's first record
+// and append only the records beyond the log's high-water mark. Acks carry
+// the record count now held. A frame starting past the high-water mark is a
+// gap a correct primary never produces; it is dropped in silence.
+func (r *replica) deliverQuorumFrame(f *Fleet, b []byte) (ack []byte, logged bool) {
+	frame, err := wire.DecodeFrame(b)
+	if err != nil {
+		return nil, false
+	}
+	if frame.Epoch != r.epoch {
+		f.counters.StaleFrames++
+		return nil, false
+	}
+	first := int(frame.Seq)
+	if first > r.logged {
+		return nil, false
+	}
+	recs, err := wire.DecodeAll(frame.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: quorum peer offered undecodable payload: %v", err))
+	}
+	appended := false
+	for _, rec := range recs[min(r.logged-first, len(recs)):] {
+		op, ok := rec.(*wire.ClientOp)
+		if !ok {
+			panic(fmt.Sprintf("fleet: foreign record %T in quorum frame", rec))
+		}
+		r.appendLog(op)
+		appended = true
+	}
+	if frame.AckWanted {
+		return wire.EncodeAck(r.epoch, uint64(r.logged)), appended
+	}
+	return nil, appended
+}
+
 // promote turns a backup into the shard's primary under epoch: replay the
 // whole log through the same apply + dedup path the live primary uses, so
 // tenant state and the at-most-once table come back exactly as the old
@@ -128,9 +222,11 @@ func (r *replica) promote(epoch uint64) {
 	r.epoch = epoch
 	r.seq = 0
 	r.pending = nil
+	r.links = nil
 	r.gate = wire.SeqGate{}
 	r.state = make(map[uint64]int64)
 	r.dedup = make(map[uint64]*dedupEntry)
+	r.rebuildOffsets()
 	recs, err := wire.DecodeAll(r.log)
 	if err != nil {
 		panic(fmt.Sprintf("fleet: replaying shard %d log: %v", r.shard, err))

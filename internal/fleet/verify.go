@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/wire"
@@ -57,6 +58,25 @@ func (f *Fleet) Verify(obs []Observation) error {
 				return fmt.Errorf("fleet: shard %d log[%d]: model result %d, logged %d", shard, i, got, op.Result)
 			}
 			logged[k] = op.Result
+		}
+		// Quorum backend: every peer's log must be a byte prefix of the
+		// primary's — the single-writer append order means a peer that holds
+		// anything else was fed records outside the protocol.
+		if f.cfg.Backend == BackendQuorum {
+			for _, name := range f.order {
+				n := f.nodes[name]
+				if !n.Alive {
+					continue
+				}
+				r := n.replicas[shard]
+				if r == nil || r == pri {
+					continue
+				}
+				if len(r.log) > len(pri.log) || !bytes.Equal(r.log, pri.log[:len(r.log)]) {
+					return fmt.Errorf("fleet: shard %d peer on %s holds a log that is not a prefix of the primary's (%d vs %d bytes)",
+						shard, name, len(r.log), len(pri.log))
+				}
+			}
 		}
 		// The live state a primary serves must equal its log's replay.
 		if pri.state != nil {

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	ftvm "repro"
 	"repro/internal/env"
 	frand "repro/internal/fuzzgen/rand"
 	"repro/internal/replication"
+	"repro/internal/simtest/clock"
 	"repro/internal/transport"
 	"repro/internal/vm"
 )
@@ -21,11 +23,12 @@ const (
 	StageStandalone = "standalone" // re-run under a different schedule
 	StageReplicated = "replicated" // primary+backup, full-log replay compared
 	StageFailover   = "failover"   // primary killed / channel fault, backup finishes
+	StageConsensus  = "consensus"  // consensus-backed run + committed-log replay compared
 )
 
-// AllStages returns the three stages in check order.
+// AllStages returns the four stages in check order.
 func AllStages() []string {
-	return []string{StageStandalone, StageReplicated, StageFailover}
+	return []string{StageStandalone, StageReplicated, StageFailover, StageConsensus}
 }
 
 // Config drives the differential harness.
@@ -89,6 +92,7 @@ type params struct {
 	faultSeed      int64
 	minQ, maxQ     uint64
 	altQlo, altQhi uint64
+	consSeed       uint64 // consensus election-schedule seed
 }
 
 func (c *Config) derive(seed uint64) params {
@@ -99,7 +103,7 @@ func (c *Config) derive(seed uint64) params {
 		transport.FaultPartialSend, transport.FaultCloseAtSend, transport.FaultCloseAtRecv,
 		transport.FaultPartitionSend, transport.FaultPartitionRecv,
 	}
-	return params{
+	pr := params{
 		envSeed:   int64(drv.Next()>>2) | 1,
 		polRef:    int64(drv.Next()>>2) | 1,
 		polAlt:    int64(drv.Next()>>2) | 1,
@@ -113,6 +117,10 @@ func (c *Config) derive(seed uint64) params {
 		minQ: 64, maxQ: 512,
 		altQlo: 100, altQhi: 900,
 	}
+	// Drawn after every pre-existing parameter so older seeds keep their
+	// exact schedules, modes, and fault plans.
+	pr.consSeed = drv.Next() | 1
+	return pr
 }
 
 // SimReplayKey renders the deterministic-simulation replay string for a
@@ -249,6 +257,51 @@ func (c *Config) CheckProg(p *Prog, stages []string) *Failure {
 				return fail(stage, err, "failover run", nil, nil)
 			}
 			if f := compare(stage, got); f != nil {
+				return f
+			}
+
+		case StageConsensus:
+			// The fourth column: the same program over the consensus-backed
+			// coordination path, on its own virtual clock so elections and
+			// commit waits cost no wall time. Both the leader-side console and
+			// the committed-log replay must match the reference streams.
+			vclk := clock.NewVirtual()
+			stopDog := vclk.Watchdog(time.Minute)
+			var envs []*env.Env
+			var res *ftvm.ReplicatedResult
+			var runErr error
+			var wg sync.WaitGroup
+			wg.Add(1)
+			vclk.Go(func() {
+				defer wg.Done()
+				res, _, runErr = ftvm.MeasureReplay(prog, pr.repMode, ftvm.Options{
+					EnvSeed: pr.envSeed, PolicySeed: pr.polRef,
+					MinQuantum: pr.minQ, MaxQuantum: pr.maxQ,
+					FlushEvery:      4,
+					MaxInstructions: c.maxInstructions(),
+					Backend:         ftvm.BackendConsensus,
+					ConsensusSeed:   pr.consSeed,
+					Clock:           vclk,
+				}, func() *env.Env {
+					e := env.New(pr.envSeed)
+					envs = append(envs, e)
+					return e
+				})
+			})
+			wg.Wait()
+			stopDog()
+			if runErr != nil {
+				return fail(stage, runErr, "consensus run", nil, nil)
+			}
+			if f := compare(stage, res.Console); f != nil {
+				f.Detail = "leader: " + f.Detail
+				return f
+			}
+			if len(envs) != 2 {
+				return fail(stage, fmt.Errorf("expected 2 environments, got %d", len(envs)), "", nil, nil)
+			}
+			if f := compare(stage, envs[1].Console().Lines()); f != nil {
+				f.Detail = "committed-log replay: " + f.Detail
 				return f
 			}
 

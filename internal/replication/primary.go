@@ -3,8 +3,6 @@ package replication
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/heap"
@@ -16,11 +14,12 @@ import (
 	"repro/internal/wire"
 )
 
-// ErrBackupLost is the primary-side failure detector firing: an output-commit
-// acknowledgement did not arrive within AckTimeout, or the transport to the
-// backup failed. The replication channel is gone; depending on
-// DegradeOnBackupLoss the primary either aborts (surfacing this error) or
-// continues executing unreplicated.
+// ErrBackupLost is the coordination backend's failure detector firing: for
+// the pair, an output-commit acknowledgement did not arrive within AckTimeout
+// or the transport to the backup failed; for the consensus backend, the
+// quorum (or this replica's leadership) is gone. The coordination substrate
+// is lost; depending on DegradeOnBackupLoss the primary either aborts
+// (surfacing this error) or continues executing unreplicated.
 var ErrBackupLost = errors.New("backup lost: ack timeout or transport failure")
 
 // ErrProtocolDesync means the acknowledgement stream itself is broken: the
@@ -39,7 +38,14 @@ var ErrProtocolDesync = errors.New("replication protocol desync: acknowledgement
 type PrimaryConfig struct {
 	// Mode selects lock-acquisition or thread-scheduling replication.
 	Mode Mode
-	// Endpoint ships log frames to the backup and receives acks (required).
+	// Backend, when set, supplies the coordination path explicitly (e.g. the
+	// consensus-backed replicated log, internal/consensus); the transport
+	// fields below (Endpoint, HeartbeatEvery, AckTimeout, Epoch) are then
+	// ignored — the backend owns transport, liveness, and epochs. When nil, a
+	// PairBackend is built from those fields (the paper's pair path).
+	Backend CoordinationBackend
+	// Endpoint ships log frames to the backup and receives acks (required
+	// unless Backend is set).
 	Endpoint transport.Endpoint
 	// Handlers are the side-effect handlers (sehandler.DefaultSet if nil).
 	Handlers *sehandler.Set
@@ -58,7 +64,7 @@ type PrimaryConfig struct {
 	// of a healthy primary behind a dead backup.
 	AckTimeout time.Duration
 	// DegradeOnBackupLoss makes the primary continue executing unreplicated
-	// after the backup is declared lost: pending and future records are
+	// after the backend is declared lost: pending and future records are
 	// discarded and outputs proceed without commit. When false (default),
 	// the loss surfaces as ErrBackupLost and aborts the run.
 	DegradeOnBackupLoss bool
@@ -74,30 +80,26 @@ type PrimaryConfig struct {
 }
 
 // Primary is the vm.Coordinator that turns a VM into the primary replica.
+// It owns the backend-generic half of coordination — record buffering and
+// scratch encoding, flush batching, output-commit points, interval state —
+// and delegates "how a batch reaches a durable committed log" to its
+// CoordinationBackend (the pair path by default).
 type Primary struct {
 	mode       Mode
-	ep         transport.Endpoint
+	be         CoordinationBackend
 	handlers   *sehandler.Set
 	policy     vm.SchedPolicy
 	flushEvery int
-	ackTimeout time.Duration
 	degrade    bool
 	clk        clock.Clock
 
-	epoch uint64
+	// beSelfTimed marks the internally-adopted pair backend, which accounts
+	// its own communication/pessimism metrics (verbatim pre-split placement,
+	// keeping the Figure 3/4 decomposition byte-stable). External backends
+	// are timed generically around Ship.
+	beSelfTimed bool
 
-	buf      wire.Buffer
-	frameSeq uint64
-	// lastSent is the highest frame sequence actually offered to the
-	// endpoint; an ack above it names a frame that never existed and trips
-	// ErrProtocolDesync. Written under sendMu, read by awaitAck on the VM
-	// goroutine (atomically, since heartbeats send concurrently).
-	lastSent atomic.Uint64
-	sendMu   sync.Mutex
-	// frameBuf is the reusable frame-encode scratch (guarded by sendMu);
-	// every Endpoint.Send must have consumed the bytes before returning, so
-	// the next frame may overwrite them.
-	frameBuf []byte
+	buf wire.Buffer
 
 	// Scratch records for the per-event log appends. Coordinator callbacks
 	// run on the VM goroutine one at a time and Buffer.Append fully encodes
@@ -108,17 +110,8 @@ type Primary struct {
 	recIDMap    wire.IDMap
 	recInterval wire.LockInterval
 
-	// Heartbeat loop control: the loop paces itself by parking on hbSlot
-	// with the heartbeat period as timeout (clock-visible, so it works under
-	// a virtual clock); stopHeartbeat sets hbStopped and signals the slot.
-	hbSlot    clock.WaitSlot
-	hbStopped atomic.Bool
-	hbDone    chan struct{}
-	hbEvery   time.Duration
-
 	lidCounter int64
 	metrics    primaryMetrics
-	backupLost atomic.Bool
 	closedDown bool
 
 	// Open logical interval (ModeLockInterval): the thread currently
@@ -133,9 +126,6 @@ var _ vm.Coordinator = (*Primary)(nil)
 
 // NewPrimary builds a primary coordinator.
 func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
-	if cfg.Endpoint == nil {
-		return nil, errors.New("primary: nil endpoint")
-	}
 	if cfg.Mode != ModeLock && cfg.Mode != ModeSched && cfg.Mode != ModeLockInterval {
 		return nil, fmt.Errorf("primary: bad mode %d", cfg.Mode)
 	}
@@ -153,21 +143,33 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 	}
 	p := &Primary{
 		mode:       cfg.Mode,
-		ep:         cfg.Endpoint,
 		handlers:   h,
 		policy:     pol,
 		flushEvery: fe,
-		ackTimeout: cfg.AckTimeout,
 		degrade:    cfg.DegradeOnBackupLoss,
-		hbEvery:    cfg.HeartbeatEvery,
 		clk:        clock.Or(cfg.Clock),
-		epoch:      cfg.Epoch,
 	}
-	if p.hbEvery > 0 {
-		p.hbSlot = p.clk.NewWaitSlot()
-		p.hbDone = make(chan struct{})
-		p.clk.Go(p.heartbeatLoop)
+	be := cfg.Backend
+	if be == nil {
+		pb, err := NewPairBackend(PairBackendConfig{
+			Endpoint:       cfg.Endpoint,
+			AckTimeout:     cfg.AckTimeout,
+			HeartbeatEvery: cfg.HeartbeatEvery,
+			Clock:          cfg.Clock,
+			Epoch:          cfg.Epoch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("primary: %w", err)
+		}
+		be = pb
 	}
+	if pb, ok := be.(*PairBackend); ok {
+		// The pair backend reports into the owning primary's counters and
+		// starts heartbeating only once adopted.
+		pb.adopt(&p.metrics)
+		p.beSelfTimed = true
+	}
+	p.be = be
 	return p, nil
 }
 
@@ -175,55 +177,25 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 // from any goroutine while the primary runs.
 func (p *Primary) Metrics() PrimaryMetrics { return p.metrics.Snapshot() }
 
-// BackupLost reports whether the primary-side failure detector has declared
-// the backup dead.
-func (p *Primary) BackupLost() bool { return p.backupLost.Load() }
+// BackupLost reports whether the backend's failure detector has declared the
+// coordination substrate (backup, quorum) dead.
+func (p *Primary) BackupLost() bool { return p.be.Lost() }
 
 // Handlers returns the side-effect handler set.
 func (p *Primary) Handlers() *sehandler.Set { return p.handlers }
 
-// Epoch returns the view number this primary stamps on its frames.
-func (p *Primary) Epoch() uint64 { return p.epoch }
+// Epoch returns the view number (pair) or term (consensus) the backend
+// currently ships under.
+func (p *Primary) Epoch() uint64 { return p.be.Epoch() }
 
-func (p *Primary) heartbeatLoop() {
-	defer close(p.hbDone)
-	var buf wire.Buffer
-	seq := uint64(0)
-	for {
-		timedOut := p.hbSlot.Park(p.hbEvery)
-		if p.hbStopped.Load() {
-			return
-		}
-		if !timedOut {
-			continue // woken for something other than the period: re-park
-		}
-		if p.backupLost.Load() {
-			return
-		}
-		seq++
-		buf.Reset()
-		if err := buf.Append(&wire.Heartbeat{Seq: seq}); err != nil {
-			return
-		}
-		if _, err := p.sendFrame(buf.Bytes(), false); err != nil {
-			return
-		}
-		p.metrics.heartbeatsSent.Add(1)
-	}
-}
-
-// markBackupLost latches the loss and stops replicating.
-func (p *Primary) markBackupLost() {
-	if p.backupLost.CompareAndSwap(false, true) {
-		p.metrics.backupLost.Store(true)
-	}
-}
+// Backend returns the coordination backend (tests, diagnostics).
+func (p *Primary) Backend() CoordinationBackend { return p.be }
 
 // squelch filters replication errors for a primary configured to outlive its
-// backup: once the backup is declared lost and DegradeOnBackupLoss is set,
-// backup-loss errors vanish and execution continues unreplicated. All other
-// errors (and any error in the default abort-on-loss configuration) pass
-// through untouched.
+// backend: once the backend is declared lost and DegradeOnBackupLoss is set,
+// loss errors vanish and execution continues unreplicated. All other errors
+// (and any error in the default abort-on-loss configuration) pass through
+// untouched.
 func (p *Primary) squelch(err error) error {
 	if err != nil && p.degrade && errors.Is(err, ErrBackupLost) {
 		return nil
@@ -231,40 +203,12 @@ func (p *Primary) squelch(err error) error {
 	return err
 }
 
-// sendFrame transmits one frame (thread-safe vs heartbeats) and returns the
-// sequence number it was assigned. The sequence is read and assigned inside
-// the critical section so callers awaiting an ack can never observe a stale
-// expectation (a concurrent heartbeat bumping frameSeq between the read and
-// the send).
-func (p *Primary) sendFrame(payload []byte, ackWanted bool) (uint64, error) {
-	p.sendMu.Lock()
-	defer p.sendMu.Unlock()
-	if p.backupLost.Load() {
-		return 0, fmt.Errorf("ship log frame: %w", ErrBackupLost)
-	}
-	p.frameSeq++
-	seq := p.frameSeq
-	p.lastSent.Store(seq)
-	p.frameBuf = wire.AppendFrame(p.frameBuf[:0], &wire.Frame{Seq: seq, Epoch: p.epoch, AckWanted: ackWanted, Payload: payload})
-	b := p.frameBuf
-	t0 := p.clk.Now()
-	err := p.ep.Send(b)
-	p.metrics.addCommunication(p.clk.Since(t0))
-	if err != nil {
-		// The channel to the backup is gone (closed or broken mid-write):
-		// that is a backup loss, not merely an I/O error.
-		p.markBackupLost()
-		return seq, fmt.Errorf("ship log frame %d: %w: %w", seq, ErrBackupLost, err)
-	}
-	p.metrics.observeFrame(len(b))
-	return seq, nil
-}
-
-// flush ships buffered records; with ack it blocks until the backup has
-// logged everything up to this point (the output-commit pessimism, §3.4),
-// bounded by AckTimeout.
+// flush ships buffered records; with ack it blocks until the backend's
+// commit rule holds for everything up to this point (the output-commit
+// pessimism, §3.4) — for the pair, the backup's acknowledgement bounded by
+// AckTimeout; for consensus, majority commit.
 func (p *Primary) flush(ack bool) error {
-	if p.backupLost.Load() {
+	if p.be.Lost() {
 		// Degraded: nothing ships any more; drop the batch so the buffer
 		// cannot grow without bound.
 		p.buf.Reset()
@@ -273,83 +217,27 @@ func (p *Primary) flush(ack bool) error {
 	if p.buf.Count() == 0 && !ack {
 		return nil
 	}
-	wantSeq, err := p.sendFrame(p.buf.Bytes(), ack)
-	if err != nil {
-		return err
+	var err error
+	if p.beSelfTimed {
+		err = p.be.Ship(p.buf.Bytes(), ack)
+	} else {
+		payload := p.buf.Bytes()
+		t0 := p.clk.Now()
+		err = p.be.Ship(payload, ack)
+		d := p.clk.Since(t0)
+		if ack {
+			p.metrics.acksAwaited.Add(1)
+			p.metrics.addPessimism(d)
+		} else {
+			p.metrics.addCommunication(d)
+		}
+		p.metrics.observeFrame(len(payload))
+		if err != nil && p.be.Lost() {
+			p.metrics.backupLost.Store(true)
+		}
 	}
 	p.buf.Reset()
-	if !ack {
-		return nil
-	}
-	p.metrics.acksAwaited.Add(1)
-	t0 := p.clk.Now()
-	err = p.awaitAck(wantSeq)
-	p.metrics.addPessimism(p.clk.Since(t0))
 	return err
-}
-
-// awaitAck blocks until the backup acknowledges wantSeq or AckTimeout
-// expires. Stale acknowledgements (duplicate frames re-acked by the backup,
-// or late acks from an earlier commit) are skipped, not treated as failures.
-//
-// Two classes of ack end the wait with ErrProtocolDesync instead: bytes that
-// do not decode as an ack, and an ack whose sequence exceeds the highest
-// frame this primary ever sent. Both mean the channel (or a foreign sender
-// on it) is fabricating acknowledgements — trusting any later ack for output
-// commit would be unsound, so the backup is declared lost on the spot.
-// Acks stamped with a different epoch are from another view's configuration
-// and are skipped without prejudice (a late ack from before a takeover).
-func (p *Primary) awaitAck(wantSeq uint64) error {
-	var deadline time.Time
-	if p.ackTimeout > 0 {
-		deadline = p.clk.Now().Add(p.ackTimeout)
-	}
-	for {
-		var timeout time.Duration
-		if p.ackTimeout > 0 {
-			timeout = deadline.Sub(p.clk.Now())
-			if timeout <= 0 {
-				p.metrics.ackTimeouts.Add(1)
-				p.markBackupLost()
-				return fmt.Errorf("await ack %d: %w", wantSeq, ErrBackupLost)
-			}
-		}
-		msg, err := p.ep.Recv(timeout)
-		if err != nil {
-			if errors.Is(err, transport.ErrTimeout) {
-				p.metrics.ackTimeouts.Add(1)
-			}
-			if errors.Is(err, transport.ErrTimeout) || errors.Is(err, transport.ErrClosed) {
-				p.markBackupLost()
-				return fmt.Errorf("await ack %d: %w: %w", wantSeq, ErrBackupLost, err)
-			}
-			return fmt.Errorf("await ack %d: %w", wantSeq, err)
-		}
-		epoch, seq, err := wire.DecodeAck(msg)
-		if err != nil {
-			p.metrics.desyncs.Add(1)
-			p.markBackupLost()
-			return fmt.Errorf("await ack %d: undecodable ack: %w: %w: %w", wantSeq, ErrProtocolDesync, ErrBackupLost, err)
-		}
-		if epoch != p.epoch {
-			// Another view's acknowledgement (a deposed backup's late ack, or
-			// a new configuration this primary is no longer part of). It can
-			// not commit anything in this epoch; keep waiting for ours.
-			p.metrics.staleAcks.Add(1)
-			continue
-		}
-		if seq > p.lastSent.Load() {
-			p.metrics.desyncs.Add(1)
-			p.markBackupLost()
-			return fmt.Errorf("await ack %d: ack names frame %d, never sent (last %d): %w: %w",
-				wantSeq, seq, p.lastSent.Load(), ErrProtocolDesync, ErrBackupLost)
-		}
-		if seq >= wantSeq {
-			return nil
-		}
-		// Stale ack: a duplicate or an earlier commit's late acknowledgement.
-		// The one we want is still in flight; keep waiting.
-	}
 }
 
 func (p *Primary) append(r wire.Record) error {
@@ -360,7 +248,7 @@ func (p *Primary) append(r wire.Record) error {
 // to the Record bucket (a batch flush triggered here is communication, not
 // record time).
 func (p *Primary) appendTimed(r wire.Record, timed bool) error {
-	if p.backupLost.Load() {
+	if p.be.Lost() {
 		if p.degrade {
 			return nil // unreplicated: the log is gone with the backup
 		}
@@ -504,13 +392,13 @@ func (p *Primary) InvokeNative(v *vm.VM, t *vm.Thread, def *native.Def, args []h
 
 // CommitOutput logs an output intent for the invocation t is about to
 // perform and runs the output commit: the log is flushed and the call blocks
-// until the backup acknowledges having logged everything up to the intent.
+// until the backend's commit rule holds for everything up to the intent.
 // It is the first half of the primary's output path, exposed so a promoted
 // backup replaying toward its own new backup (the state-transfer tail) can
 // commit the log's uncertain final output against the new configuration
 // before re-deciding whether to perform it.
 func (p *Primary) CommitOutput(t *vm.Thread, def *native.Def) error {
-	if p.backupLost.Load() {
+	if p.be.Lost() {
 		return nil // degraded (or aborting): outputs proceed uncommitted
 	}
 	if p.mode == ModeLockInterval {
@@ -537,7 +425,7 @@ func (p *Primary) CommitOutput(t *vm.Thread, def *native.Def) error {
 // primary's output path, reusable by the promotion tail for natives that go
 // live during replay.
 func (p *Primary) LogNativeResult(v *vm.VM, t *vm.Thread, def *native.Def, args, results []heap.Value) error {
-	if p.backupLost.Load() {
+	if p.be.Lost() {
 		return nil
 	}
 	wv, err := toWire(v.Heap(), results)
@@ -576,8 +464,8 @@ func (p *Primary) LogIDMap(t *vm.Thread, lid int64) error {
 	return p.squelch(err)
 }
 
-// ShipSnapshot transfers a recovered log prefix to the backup as ordinary
-// log records and blocks until the backup acknowledges the whole batch (the
+// ShipSnapshot transfers a recovered log prefix to the backend as ordinary
+// log records and blocks until the backend commits the whole batch (the
 // state-transfer handshake: a recruit holds the promoted primary's complete
 // history before it may count for output commit). The caller pre-filters
 // records that must not be re-shipped (halt markers, heartbeats, and the
@@ -601,17 +489,17 @@ func (p *Primary) Poll(*vm.VM) (bool, error) { return false, nil }
 func (p *Primary) OnIdle(*vm.VM) (bool, error) { return false, nil }
 
 // OnHalt implements vm.Coordinator: on clean completion, ship the halt
-// marker and synchronise with the backup; on a kill, fatal error or lost
-// backup, crash silently — buffered records are lost with the primary, and
+// marker and synchronise with the backend; on a kill, fatal error or lost
+// backend, crash silently — buffered records are lost with the primary, and
 // the backup's failure detector takes over (fail-stop, R0).
 func (p *Primary) OnHalt(v *vm.VM, runErr error) error {
-	p.stopHeartbeat()
+	p.be.Quiesce()
 	if p.closedDown {
 		return nil
 	}
 	p.closedDown = true
-	if v.Killed() || runErr != nil || p.backupLost.Load() {
-		return p.ep.Close()
+	if v.Killed() || runErr != nil || p.be.Lost() {
+		return p.be.Close()
 	}
 	if p.mode == ModeLockInterval {
 		if err := p.squelch(p.closeInterval()); err != nil {
@@ -624,18 +512,5 @@ func (p *Primary) OnHalt(v *vm.VM, runErr error) error {
 	if err := p.squelch(p.flush(true)); err != nil {
 		return err
 	}
-	return p.ep.Close()
-}
-
-func (p *Primary) stopHeartbeat() {
-	if p.hbSlot == nil {
-		return
-	}
-	if p.hbStopped.CompareAndSwap(false, true) {
-		p.hbSlot.Signal()
-	}
-	// The loop is already awake (signalled or mid-send) and needs no clock
-	// advance to finish, so this bare channel wait is safe under a virtual
-	// clock even though the waiter may itself be an actor.
-	<-p.hbDone
+	return p.be.Close()
 }

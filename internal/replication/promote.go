@@ -43,9 +43,15 @@ func PreparePromotion(b *Backup, rcfg RecoverConfig, tailCfg PrimaryConfig) (*Pr
 	if tailCfg.Mode != b.mode {
 		return nil, fmt.Errorf("promotion: tail mode %d != backup mode %d", tailCfg.Mode, b.mode)
 	}
-	if tailCfg.Epoch <= b.epoch {
+	epoch := tailCfg.Epoch
+	if tailCfg.Backend != nil {
+		// An explicit coordination backend owns its epochs; the config field
+		// is ignored by NewPrimary, so validate what will actually be stamped.
+		epoch = tailCfg.Backend.Epoch()
+	}
+	if epoch <= b.epoch {
 		return nil, fmt.Errorf("promotion: tail epoch %d must exceed the old view's epoch %d",
-			tailCfg.Epoch, b.epoch)
+			epoch, b.epoch)
 	}
 	tail, err := NewPrimary(tailCfg)
 	if err != nil {

@@ -49,38 +49,51 @@ func EncodeFrame(f *Frame) []byte {
 // and reject the whole frame: a receiver that silently ignored them would
 // log a payload whose boundary the sender never chose.
 func DecodeFrame(b []byte) (*Frame, error) {
+	f, rest, err := DecodeFramePrefix(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after frame payload", ErrBadRecord, len(rest))
+	}
+	return f, nil
+}
+
+// DecodeFramePrefix parses one frame from the front of b and returns the
+// remaining bytes, so a message carrying several concatenated frames — the
+// consensus backend's AppendEntries batches, where each replicated log entry
+// is a Frame (Seq = log index, Epoch = term) — decodes sequentially. The
+// strict single-frame DecodeFrame is this plus an empty-rest check.
+func DecodeFramePrefix(b []byte) (*Frame, []byte, error) {
 	seq, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("%w: truncated frame seq", ErrBadRecord)
+		return nil, nil, fmt.Errorf("%w: truncated frame seq", ErrBadRecord)
 	}
 	b = b[n:]
 	epoch, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("%w: truncated frame epoch", ErrBadRecord)
+		return nil, nil, fmt.Errorf("%w: truncated frame epoch", ErrBadRecord)
 	}
 	b = b[n:]
 	if len(b) < 1 {
-		return nil, fmt.Errorf("%w: truncated frame flags", ErrBadRecord)
+		return nil, nil, fmt.Errorf("%w: truncated frame flags", ErrBadRecord)
 	}
 	if b[0] > 1 {
-		return nil, fmt.Errorf("%w: bad frame flags %#x", ErrBadRecord, b[0])
+		return nil, nil, fmt.Errorf("%w: bad frame flags %#x", ErrBadRecord, b[0])
 	}
 	ackWanted := b[0] == 1
 	b = b[1:]
 	plen, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("%w: truncated frame length", ErrBadRecord)
+		return nil, nil, fmt.Errorf("%w: truncated frame length", ErrBadRecord)
 	}
 	b = b[n:]
 	if uint64(len(b)) < plen {
-		return nil, fmt.Errorf("%w: short frame payload (%d < %d)", ErrBadRecord, len(b), plen)
-	}
-	if uint64(len(b)) > plen {
-		return nil, fmt.Errorf("%w: %d trailing bytes after frame payload", ErrBadRecord, uint64(len(b))-plen)
+		return nil, nil, fmt.Errorf("%w: short frame payload (%d < %d)", ErrBadRecord, len(b), plen)
 	}
 	payload := make([]byte, plen)
 	copy(payload, b[:plen])
-	return &Frame{Seq: seq, Epoch: epoch, AckWanted: ackWanted, Payload: payload}, nil
+	return &Frame{Seq: seq, Epoch: epoch, AckWanted: ackWanted, Payload: payload}, b[plen:], nil
 }
 
 // SeqGate validates the frame sequence on the receiving side of the channel.

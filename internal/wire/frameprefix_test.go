@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// DecodeFramePrefix must walk a concatenation of frames (the consensus
+// backend's AppendEntries batches) and preserve DecodeFrame's strictness.
+func TestDecodeFramePrefixSequence(t *testing.T) {
+	frames := []*Frame{
+		{Seq: 1, Epoch: 3, AckWanted: true, Payload: []byte("alpha")},
+		{Seq: 2, Epoch: 3, Payload: nil},
+		{Seq: 3, Epoch: 4, AckWanted: true, Payload: []byte{0xff, 0x00}},
+	}
+	var b []byte
+	for _, f := range frames {
+		b = AppendFrame(b, f)
+	}
+	rest := b
+	for i, want := range frames {
+		f, r, err := DecodeFramePrefix(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Seq != want.Seq || f.Epoch != want.Epoch || f.AckWanted != want.AckWanted || string(f.Payload) != string(want.Payload) {
+			t.Fatalf("frame %d round-trip mismatch: %+v vs %+v", i, f, want)
+		}
+		rest = r
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after the last frame", len(rest))
+	}
+	// The strict entry point still rejects concatenations.
+	if _, err := DecodeFrame(b); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("DecodeFrame accepted spliced frames: %v", err)
+	}
+	// Truncation inside a later frame surfaces as an error, not a short read.
+	if _, _, err := DecodeFramePrefix(b[:len(b)-1]); err == nil {
+		_, r, _ := DecodeFramePrefix(b[:len(b)-1])
+		_, r, _ = DecodeFramePrefix(r)
+		if _, _, err := DecodeFramePrefix(r); err == nil {
+			t.Fatal("truncated trailing frame decoded")
+		}
+	}
+}

@@ -25,11 +25,12 @@ files=$(find . -name '*.go' \
     -print | sort)
 
 # Self-check: the clock-sensitive packages must be in the scan set. The
-# failure detectors in replication (heartbeats, ack timeouts) and viewsvc
-# (ping-based membership) are exactly where a naked wall-clock call would
-# break determinism — if a future exemption swallowed them, this lint would
-# pass vacuously.
-for must in ./internal/replication ./internal/viewsvc; do
+# failure detectors in replication (heartbeats, ack timeouts), viewsvc
+# (ping-based membership), and consensus (randomized election timeouts,
+# leader heartbeats) are exactly where a naked wall-clock call would break
+# determinism — if a future exemption swallowed them, this lint would pass
+# vacuously.
+for must in ./internal/replication ./internal/viewsvc ./internal/consensus; do
     case "$files" in
         *"$must/"*) ;;
         *) echo "clock-lint: $must is missing from the scan set" >&2; exit 1 ;;
