@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke consensus-smoke replay-seeds
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke consensus-smoke replay-seeds golden-dual
 
 build:
 	$(GO) build ./...
@@ -74,7 +74,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke consensus-smoke
+check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke consensus-smoke golden-dual
+
+# The dual-mode golden gate: the full golden program suite and the
+# replication event log, bit-identical between the switch and threaded
+# interpreter engines.
+golden-dual:
+	$(GO) test -count=1 -run 'TestDispatchDualMode' . ./internal/replication
 
 bench:
 	$(GO) run ./cmd/ftvm-bench -all

@@ -145,9 +145,10 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
-// BenchmarkInterpreter measures raw interpreter throughput (instructions per
-// op reported) — the substrate number everything else normalizes against.
-func BenchmarkInterpreter(b *testing.B) {
+// benchSpin measures raw interpreter throughput on the given engine
+// (instructions per op reported) — the substrate number everything else
+// normalizes against.
+func benchSpin(b *testing.B, d Dispatch) {
 	prog, err := CompileSource("spin", `
 func main() {
 	var x int = 0;
@@ -160,10 +161,20 @@ func main() {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := Run(prog, Options{EnvSeed: 1})
+		res, err := Run(prog, Options{EnvSeed: 1, Dispatch: d})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Stats.Instructions), "instrs")
 	}
 }
+
+// BenchmarkInterpreter is the default (threaded) engine; its before/after
+// ratio against BENCH_PR3.json is the tentpole acceptance number for the
+// threaded tier (BENCH_PR9.json).
+func BenchmarkInterpreter(b *testing.B) { benchSpin(b, DispatchThreaded) }
+
+// BenchmarkInterpreterSwitch is the same workload on the reference switch
+// engine, so bench-smoke exercises both dispatch tiers every run and the
+// threaded speedup is the ratio of the two.
+func BenchmarkInterpreterSwitch(b *testing.B) { benchSpin(b, DispatchSwitch) }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -45,6 +46,9 @@ func run() error {
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		repeats   = flag.Int("repeats", 2, "measurement rounds (fastest kept; plus one warm-up)")
 		noNet     = flag.Bool("no-network", false, "disable the simulated network link")
+		pairFreq  = flag.Bool("pairfreq", false, "dump opcode-pair frequencies over the benchmarks (feeds the fusion table)")
+		pairTop   = flag.Int("pairfreq-top", 48, "pair ranking depth for -pairfreq")
+		dispatch  = flag.String("dispatch", "", "interpreter engine: threaded (default) or switch")
 		perMsg    = flag.Duration("net-per-msg", 150*time.Microsecond, "simulated per-message cost")
 		perKB     = flag.Duration("net-per-kb", 450*time.Microsecond, "simulated per-KB cost")
 	)
@@ -53,11 +57,15 @@ func run() error {
 		*repeats = 1
 		*noNet = true
 	}
-	if !*table2 && !*fig2 && !*fig3 && !*fig4 && !*takeover && !*metrics {
+	if !*table2 && !*fig2 && !*fig3 && !*fig4 && !*takeover && !*metrics && !*pairFreq {
 		*all = true
 	}
 	if *all {
 		*table2, *fig2, *fig3, *fig4 = true, true, true, true
+	}
+	disp, err := vm.ParseDispatch(*dispatch)
+	if err != nil {
+		return err
 	}
 	cfg := harness.Config{
 		Scale:     *scale,
@@ -65,9 +73,21 @@ func run() error {
 		NoNetwork: *noNet,
 		NetPerMsg: *perMsg,
 		NetPerKB:  *perKB,
+		Dispatch:  disp,
 	}
 	if *benchList != "" {
 		cfg.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	if *pairFreq {
+		fmt.Fprintf(os.Stderr, "profiling opcode pairs over %v (scale %d)...\n", benchNames(cfg), *scale)
+		dyn, static, err := harness.PairFreq(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("executed pairs (%d total):\n%s\n", dyn.Total(), dyn.Table(*pairTop))
+		fmt.Printf("static pairs (%d total):\n%s", static.Total(), static.Table(*pairTop))
+		return nil
 	}
 
 	var results []*harness.BenchResult

@@ -1,11 +1,12 @@
 // Command ftvm-fuzz is the open-ended soak driver for the whole-program
 // differential fuzzer (internal/fuzzgen): it generates seeded multi-threaded
-// minilang programs and cross-checks standalone, replicated, and failover
-// execution, shrinking any divergence to a minimized .mini repro artifact.
+// minilang programs and cross-checks standalone, replicated, failover,
+// consensus, and dispatch-engine execution, shrinking any divergence to a
+// minimized .mini repro artifact.
 //
 // Usage:
 //
-//	ftvm-fuzz                               # 100 seeds, all three stages
+//	ftvm-fuzz                               # 100 seeds, every stage
 //	ftvm-fuzz -seeds 100000 -size large     # overnight soak
 //	ftvm-fuzz -mode failover -seeds 5000    # failure injection only
 //	ftvm-fuzz -seeds 1 -start 8241 -v       # re-run one failing seed
@@ -37,7 +38,7 @@ func run() error {
 	var (
 		seeds     = flag.Int("seeds", 100, "number of seeds to check")
 		start     = flag.Uint64("start", 0, "first seed")
-		mode      = flag.String("mode", "all", "stage to check: all, standalone, replicated, failover")
+		mode      = flag.String("mode", "all", "stage to check: all, standalone, replicated, failover, consensus, dispatch")
 		sizeName  = flag.String("size", "medium", "program size tier: small, medium, large")
 		artifacts = flag.String("artifacts", "fuzz-artifacts", "directory for minimized repro artifacts")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers")
@@ -53,10 +54,11 @@ func run() error {
 	switch *mode {
 	case "all":
 		stages = nil // every stage
-	case fuzzgen.StageStandalone, fuzzgen.StageReplicated, fuzzgen.StageFailover:
+	case fuzzgen.StageStandalone, fuzzgen.StageReplicated, fuzzgen.StageFailover,
+		fuzzgen.StageConsensus, fuzzgen.StageDispatch:
 		stages = []string{*mode}
 	default:
-		return fmt.Errorf("unknown -mode %q (all, standalone, replicated, failover)", *mode)
+		return fmt.Errorf("unknown -mode %q (all, standalone, replicated, failover, consensus, dispatch)", *mode)
 	}
 	if *jobs < 1 {
 		*jobs = 1

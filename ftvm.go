@@ -47,6 +47,22 @@ type Stats = vm.Stats
 // Mode selects the multi-threading replica-coordination technique.
 type Mode = replication.Mode
 
+// Dispatch selects the interpreter engine (vm.Dispatch): the default
+// subroutine-threaded fast tier or the reference switch loop. Both produce
+// bit-identical event logs, recovery records and console output.
+type Dispatch = vm.Dispatch
+
+// Interpreter dispatch engines.
+const (
+	// DispatchThreaded is the subroutine-threaded fast tier (default).
+	DispatchThreaded = vm.DispatchThreaded
+	// DispatchSwitch is the reference switch interpreter.
+	DispatchSwitch = vm.DispatchSwitch
+)
+
+// ParseDispatch parses "threaded" or "switch" (empty = threaded).
+func ParseDispatch(s string) (Dispatch, error) { return vm.ParseDispatch(s) }
+
 // Replication modes.
 const (
 	// ModeLock replicates the sequence of monitor acquisitions.
@@ -145,6 +161,10 @@ type Options struct {
 	// Ethernet) on a single host. Zero means a raw in-process pipe.
 	NetPerMsg time.Duration
 	NetPerKB  time.Duration
+	// Dispatch selects the interpreter engine for every VM the run builds
+	// (primary and recovery replay alike). The zero value is the threaded
+	// fast tier; DispatchSwitch selects the reference switch loop.
+	Dispatch Dispatch
 	// Clock supplies time for ack deadlines, heartbeats, kill-trigger
 	// polling, transport waits, and elapsed measurements (nil = wall
 	// clock). The in-process pipe is built on this clock too, so a caller
@@ -213,6 +233,7 @@ func Run(prog *Program, opts Options) (*Result, error) {
 		Coordinator:     vm.NewDefaultCoordinator(vm.NewSeededPolicy(opts.PolicySeed, opts.MinQuantum, opts.MaxQuantum)),
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
+		Dispatch:        opts.Dispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -306,6 +327,7 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
 		TrackProgress:   mode == ModeSched,
+		Dispatch:        opts.Dispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -391,6 +413,7 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
+		Dispatch:        opts.Dispatch,
 	})
 	res.RecoveryElapsed = clk.Since(r0)
 	res.Recovery = report
@@ -441,6 +464,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
 		TrackProgress:   mode == ModeSched,
+		Dispatch:        opts.Dispatch,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -493,6 +517,7 @@ func MeasureReplay(prog *Program, mode Mode, opts Options, envFactory func() *en
 		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
+		Dispatch:        opts.Dispatch,
 	})
 	replay := &ReplayResult{Elapsed: clk.Since(r0), Report: report}
 	if err != nil {
@@ -548,6 +573,7 @@ func runConsensus(prog *Program, mode Mode, opts Options, trigger KillTrigger) (
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
 		TrackProgress:   mode == ModeSched,
+		Dispatch:        opts.Dispatch,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -666,6 +692,7 @@ func runConsensus(prog *Program, mode Mode, opts Options, trigger KillTrigger) (
 		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
+		Dispatch:        opts.Dispatch,
 	})
 	res.RecoveryElapsed = clk.Since(r0)
 	res.Recovery = report
@@ -702,6 +729,7 @@ func measureConsensusReplay(prog *Program, mode Mode, opts Options, envFactory f
 		Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
+		Dispatch:        opts.Dispatch,
 	})
 	replay := &ReplayResult{Elapsed: clk.Since(r0), Report: report}
 	if err != nil {

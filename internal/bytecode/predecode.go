@@ -90,6 +90,12 @@ const fuseWidth = 11 // C-variants per ALU op before the L-variants start
 type Resolved struct {
 	Methods [][]RInstr
 	Fused   [][]RInstr
+	// Wide is the wide-fusion variant consumed by the threaded engine:
+	// multi-instruction superinstruction groups chosen by DP segmentation
+	// over the benchmark-derived pair/idiom table (widefuse.go). Index-
+	// aligned per pc like Fused; interior slots keep executable content so
+	// jumps into the middle of a group stay valid.
+	Wide [][]RInstr
 }
 
 // fuse builds the superinstruction variant of code. The first instruction of
@@ -128,6 +134,7 @@ func Predecode(p *Program) (*Resolved, error) {
 	res := &Resolved{
 		Methods: make([][]RInstr, len(p.Methods)),
 		Fused:   make([][]RInstr, len(p.Methods)),
+		Wide:    make([][]RInstr, len(p.Methods)),
 	}
 	for mi, m := range p.Methods {
 		if m.Native {
@@ -201,6 +208,7 @@ func Predecode(p *Program) (*Resolved, error) {
 		}
 		res.Methods[mi] = code
 		res.Fused[mi] = fuse(code)
+		res.Wide[mi] = widefuse(code)
 	}
 	return res, nil
 }

@@ -55,8 +55,9 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 // TestDifferentialSmoke is the CI quota: ≥200 generated programs checked
-// across all three stages (standalone re-schedule, replicated+replay,
-// failover) with zero divergences. Sharded for parallelism.
+// across all five stages (standalone re-schedule, replicated+replay,
+// failover, consensus, dispatch cross-check) with zero divergences. Sharded
+// for parallelism.
 func TestDifferentialSmoke(t *testing.T) {
 	const shards = 8
 	seeds := 240

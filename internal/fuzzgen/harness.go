@@ -24,11 +24,12 @@ const (
 	StageReplicated = "replicated" // primary+backup, full-log replay compared
 	StageFailover   = "failover"   // primary killed / channel fault, backup finishes
 	StageConsensus  = "consensus"  // consensus-backed run + committed-log replay compared
+	StageDispatch   = "dispatch"   // switch vs threaded engine, byte-identical console + stats
 )
 
-// AllStages returns the four stages in check order.
+// AllStages returns the five stages in check order.
 func AllStages() []string {
-	return []string{StageStandalone, StageReplicated, StageFailover, StageConsensus}
+	return []string{StageStandalone, StageReplicated, StageFailover, StageConsensus, StageDispatch}
 }
 
 // Config drives the differential harness.
@@ -93,6 +94,9 @@ type params struct {
 	minQ, maxQ     uint64
 	altQlo, altQhi uint64
 	consSeed       uint64 // consensus election-schedule seed
+	polDisp        int64  // dispatch-column scheduling seed
+	dispQlo        uint64 // dispatch-column quantum range
+	dispQhi        uint64
 }
 
 func (c *Config) derive(seed uint64) params {
@@ -120,6 +124,12 @@ func (c *Config) derive(seed uint64) params {
 	// Drawn after every pre-existing parameter so older seeds keep their
 	// exact schedules, modes, and fault plans.
 	pr.consSeed = drv.Next() | 1
+	// Dispatch-column draws come after consSeed for the same reason: the
+	// engine cross-check gets its own schedule without perturbing any
+	// parameter an older seed already pinned.
+	pr.polDisp = int64(drv.Next()>>2) | 1
+	pr.dispQlo = 32 + uint64(drv.Intn(96))
+	pr.dispQhi = pr.dispQlo + 64 + uint64(drv.Intn(1024))
 	return pr
 }
 
@@ -303,6 +313,53 @@ func (c *Config) CheckProg(p *Prog, stages []string) *Failure {
 			if f := compare(stage, envs[1].Console().Lines()); f != nil {
 				f.Detail = "committed-log replay: " + f.Detail
 				return f
+			}
+
+		case StageDispatch:
+			// The fifth column: the same program, the same fresh schedule,
+			// once per interpreter engine. Unlike the other columns — which
+			// compare per-writer frame streams because cross-writer
+			// interleaving is legally schedule-dependent — the two engines
+			// here run the *identical* schedule, so the full console must
+			// match byte for byte and the Stats counters exactly.
+			runWith := func(d ftvm.Dispatch) (*ftvm.Result, error) {
+				return ftvm.Run(prog, ftvm.Options{
+					EnvSeed: pr.envSeed, PolicySeed: pr.polDisp,
+					MinQuantum: pr.dispQlo, MaxQuantum: pr.dispQhi,
+					MaxInstructions: c.maxInstructions(),
+					Dispatch:        d,
+				})
+			}
+			swRes, err := runWith(ftvm.DispatchSwitch)
+			if err != nil {
+				return fail(stage, err, "switch-engine run", nil, nil)
+			}
+			thRes, err := runWith(ftvm.DispatchThreaded)
+			if err != nil {
+				return fail(stage, err, "threaded-engine run", nil, nil)
+			}
+			got := thRes.Console
+			if c.tamper != nil {
+				got = c.tamper(stage, got)
+			}
+			for i := 0; i < len(swRes.Console) || i < len(got); i++ {
+				var s, g string
+				if i < len(swRes.Console) {
+					s = swRes.Console[i]
+				}
+				if i < len(got) {
+					g = got[i]
+				}
+				if s != g {
+					return fail(stage, nil,
+						fmt.Sprintf("engines diverged at console line %d: switch %q vs threaded %q", i, s, g),
+						swRes.Console, got)
+				}
+			}
+			if c.tamper == nil && swRes.Stats != thRes.Stats {
+				return fail(stage, nil,
+					fmt.Sprintf("engines diverged on stats: switch %+v vs threaded %+v", swRes.Stats, thRes.Stats),
+					swRes.Console, got)
 			}
 
 		default:

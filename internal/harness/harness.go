@@ -10,6 +10,7 @@ import (
 	"time"
 
 	ftvm "repro"
+	"repro/internal/bytecode/pairfreq"
 	"repro/internal/env"
 	"repro/internal/programs"
 	"repro/internal/replication"
@@ -37,6 +38,9 @@ type Config struct {
 	NoNetwork bool
 	// Benchmarks restricts the set (nil = all six, paper order).
 	Benchmarks []string
+	// Dispatch selects the interpreter engine for every measured VM
+	// (default: the threaded fast tier).
+	Dispatch vm.Dispatch
 	// Repeats measures each configuration this many times and keeps the
 	// fastest (default 2; the first run pays allocator/cache warm-up).
 	Repeats int
@@ -157,6 +161,7 @@ func RunBenchmark(name string, cfg Config) (*BenchResult, error) {
 		base, err := ftvm.Run(prog, ftvm.Options{
 			EnvSeed:    cfg.EnvSeed,
 			PolicySeed: cfg.PolicySeed,
+			Dispatch:   cfg.Dispatch,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", name, err)
@@ -178,6 +183,7 @@ func RunBenchmark(name string, cfg Config) (*BenchResult, error) {
 				FlushEvery: cfg.FlushEvery,
 				NetPerMsg:  cfg.NetPerMsg,
 				NetPerKB:   cfg.NetPerKB,
+				Dispatch:   cfg.Dispatch,
 			}, envFactory)
 			if err != nil {
 				return nil, fmt.Errorf("%s %v: %w", name, mode, err)
@@ -197,6 +203,36 @@ func RunBenchmark(name string, cfg Config) (*BenchResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// PairFreq runs every configured benchmark once (baseline, unreplicated)
+// under the pair-frequency profiler and returns the merged dynamic
+// (executed-pair) and static (adjacent-slot) counters. The dynamic counter is
+// what sizes the superinstruction fusion table: profiling forces the unfused
+// switch slow path so the stream is base opcodes only.
+func PairFreq(cfg Config) (dynamic, static *pairfreq.Counter, err error) {
+	cfg.fill()
+	dynamic, static = &pairfreq.Counter{}, &pairfreq.Counter{}
+	for _, name := range cfg.Benchmarks {
+		prog, err := programs.Compile(name, cfg.Scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		static.AddProgram(prog)
+		machine, err := vm.New(vm.Config{
+			Program:     prog,
+			Env:         env.New(cfg.EnvSeed),
+			Coordinator: vm.NewDefaultCoordinator(vm.NewSeededPolicy(cfg.PolicySeed, 1024, 8192)),
+			PairCounter: dynamic,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := machine.Run(); err != nil {
+			return nil, nil, fmt.Errorf("%s pairfreq run: %w", name, err)
+		}
+	}
+	return dynamic, static, nil
 }
 
 // RunAll measures every configured benchmark.

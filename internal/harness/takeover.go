@@ -45,6 +45,7 @@ func MeasureTakeover(name string, killFraction float64, cfg Config) (*TakeoverRe
 			FlushEvery: 64, // fine batches so kill points are precise
 			NetPerMsg:  cfg.NetPerMsg,
 			NetPerKB:   cfg.NetPerKB,
+			Dispatch:   cfg.Dispatch,
 			Clock:      cfg.Clock,
 		}
 	}

@@ -306,6 +306,10 @@ type RecoverConfig struct {
 	// GCThreshold / MaxInstructions are passed to the VM.
 	GCThreshold     int
 	MaxInstructions uint64
+	// Dispatch selects the recovery VM's interpreter engine. Replay is
+	// engine-agnostic (both engines produce bit-identical logs), so any
+	// log can be recovered under either engine.
+	Dispatch vm.Dispatch
 	// OnVM, when set, receives the recovery VM right after construction and
 	// before it runs. The simulation harness uses it to install kill handles
 	// so a promoted primary can die at an exact frame position.
@@ -381,6 +385,7 @@ func (b *Backup) Recover(cfg RecoverConfig) (*vm.VM, *RecoveryReport, error) {
 		// bookkeeping the primary did (it must detect the recorded switch
 		// points and, after recovery, act as the new primary).
 		TrackProgress: b.mode == ModeSched,
+		Dispatch:      cfg.Dispatch,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("recovery vm: %w", err)

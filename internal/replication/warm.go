@@ -261,6 +261,7 @@ func (w *WarmBackup) Run(cfg RecoverConfig) (*vm.VM, *WarmResult, error) {
 		GCThreshold:     cfg.GCThreshold,
 		MaxInstructions: cfg.MaxInstructions,
 		TrackProgress:   w.mode == ModeSched,
+		Dispatch:        cfg.Dispatch,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("warm vm: %w", err)

@@ -73,6 +73,9 @@ type ClusterConfig struct {
 	AckTimeout     time.Duration
 	FailureTimeout time.Duration
 
+	// Dispatch selects the interpreter engine for the primary and the
+	// recovery VM (default threaded, like every production path).
+	Dispatch ftvm.Dispatch
 	// MaxInstructions bounds every execution (default 50M).
 	MaxInstructions uint64
 	// WallLimit is the real-time watchdog on the whole simulation
@@ -208,6 +211,7 @@ func runCluster(clk *clock.Virtual, cfg *ClusterConfig) (*ClusterResult, error) 
 		Coordinator:     primary,
 		MaxInstructions: cfg.MaxInstructions,
 		TrackProgress:   cfg.Mode == ftvm.ModeSched,
+		Dispatch:        cfg.Dispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -288,6 +292,7 @@ func runCluster(clk *clock.Virtual, cfg *ClusterConfig) (*ClusterResult, error) 
 		Env:             environ,
 		Policy:          vm.NewSeededPolicy(cfg.RecoverSeed, cfg.RecoverMinQ, cfg.RecoverMaxQ),
 		MaxInstructions: cfg.MaxInstructions,
+		Dispatch:        cfg.Dispatch,
 	})
 	res.VirtualElapsed = clk.Since(t0)
 	res.Recovery = report

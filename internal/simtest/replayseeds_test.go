@@ -72,6 +72,34 @@ var replaySeeds = []struct {
 		"aggressive reordering under a mid-run kill",
 		"prog=3,size=small,mode=lock,kill=4,deliver=1,fault=none@0,net=6,reorder=1/2",
 	},
+	{
+		// PR 9: epoch-based branch counter — a sched-mode kill whose log
+		// cuts between two progress flushes. Recovery replays to an exact
+		// (br_cnt, method, pc) target; the threaded engine must delegate
+		// the stop epoch to the reference loop and land on the identical
+		// instruction.
+		"sched replay cut between epoch flushes (threaded)",
+		"prog=5,size=small,mode=sched,kill=6,deliver=0,fault=none@0,net=1,reorder=1/8",
+	},
+	{
+		// PR 9: the same schedule on the reference engine — the pair pins
+		// the two engines against one fault schedule, so an epoch-counter
+		// drift shows up as exactly one of these two lines failing.
+		"sched replay cut between epoch flushes (switch)",
+		"prog=5,size=small,mode=sched,kill=6,deliver=0,fault=none@0,net=1,reorder=1/8,dispatch=switch",
+	},
+	{
+		// PR 9: kill delivered on a block edge — the final frame ships and
+		// the recovery target lands exactly on a branch boundary, the case
+		// where the threaded engine's block-boundary check (not a
+		// per-instruction check) must stop the slice.
+		"sched kill lands on a block edge (threaded)",
+		"prog=6,size=small,mode=sched,kill=4,deliver=1,fault=none@0,net=2,reorder=1/8",
+	},
+	{
+		"sched kill lands on a block edge (switch)",
+		"prog=6,size=small,mode=sched,kill=4,deliver=1,fault=none@0,net=2,reorder=1/8,dispatch=switch",
+	},
 }
 
 // TestReplaySeeds replays the regression table. A failure here means a

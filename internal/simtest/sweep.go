@@ -31,6 +31,10 @@ type Combo struct {
 	NetSeed     int64
 	ReorderNum  int // chance a message skips FIFO clamping, as Num in Den
 	ReorderDen  int
+	// Dispatch selects the interpreter engine for the primary and any
+	// recovery VM (default threaded). The epoch-edge regression entries pin
+	// both engines against the same fault schedules.
+	Dispatch ftvm.Dispatch
 }
 
 // Key renders the combo as its canonical replay string.
@@ -39,9 +43,15 @@ func (cb Combo) Key() string {
 	if cb.KillDeliver {
 		deliver = 1
 	}
-	return fmt.Sprintf("prog=%d,size=%s,mode=%s,kill=%d,deliver=%d,fault=%s@%d,net=%d,reorder=%d/%d",
+	key := fmt.Sprintf("prog=%d,size=%s,mode=%s,kill=%d,deliver=%d,fault=%s@%d,net=%d,reorder=%d/%d",
 		cb.ProgSeed, cb.Size, cb.Mode, cb.KillAtSend, deliver,
 		cb.FaultKind, cb.FaultAt, cb.NetSeed, cb.ReorderNum, cb.ReorderDen)
+	if cb.Dispatch != ftvm.DispatchThreaded {
+		// Appended only when non-default, so every historical replay string
+		// renders (and replays) unchanged.
+		key += ",dispatch=" + cb.Dispatch.String()
+	}
+	return key
 }
 
 // faultKindByName inverts transport.FaultKind.String.
@@ -97,6 +107,8 @@ func ParseCombo(key string) (Combo, error) {
 			}
 		case "net":
 			cb.NetSeed, err = strconv.ParseInt(v, 0, 64)
+		case "dispatch":
+			cb.Dispatch, err = ftvm.ParseDispatch(v)
 		case "reorder":
 			num, den, ok := strings.Cut(v, "/")
 			if !ok {
@@ -141,6 +153,7 @@ func (cb Combo) clusterConfig(prog *ftvm.Program) ClusterConfig {
 		FaultSeed:   cb.NetSeed ^ 0x0F0F0F0F,
 		KillAtSend:  cb.KillAtSend,
 		KillDeliver: cb.KillDeliver,
+		Dispatch:    cb.Dispatch,
 	}
 }
 

@@ -75,6 +75,15 @@ func TestComboKeyRoundTrip(t *testing.T) {
 			t.Fatalf("round trip changed combo: %q -> %q", cb.Key(), parsed.Key())
 		}
 	}
+	// The dispatch field renders only when non-default and round-trips.
+	sw := Combo{ProgSeed: 7, Size: fuzzgen.SizeSmall, Mode: ftvm.ModeSched,
+		ReorderDen: 8, Dispatch: ftvm.DispatchSwitch}
+	if !strings.Contains(sw.Key(), "dispatch=switch") {
+		t.Fatalf("switch-engine combo key %q does not carry the dispatch field", sw.Key())
+	}
+	if parsed, err := ParseCombo(sw.Key()); err != nil || parsed != sw {
+		t.Fatalf("dispatch round trip: %q -> %q (%v)", sw.Key(), parsed.Key(), err)
+	}
 	if _, err := ParseCombo("prog=1,bogus=2"); err == nil {
 		t.Fatal("unknown field accepted")
 	}

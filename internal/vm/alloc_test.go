@@ -59,3 +59,54 @@ end
 		t.Errorf("sconst loop performed %d allocations, want bounded setup-only (<10000)", n)
 	}
 }
+
+// TestThreadedHotLoopAllocFree pins the threaded engine's zero-allocation
+// property: the execution context (tctx) is one reusable struct per VM and
+// the compiled closure streams are built at construction, so a multi-million
+// instruction arithmetic loop must not allocate per iteration — only the
+// bounded setup (runtime noise, the odd GC bookkeeping) is allowed.
+func TestThreadedHotLoopAllocFree(t *testing.T) {
+	src := `
+method main 0 void
+  iconst 0
+  store 0
+  iconst 0
+  store 1
+loop:
+  load 1
+  iconst 300000
+  icmp
+  jz done
+  load 0
+  iconst 31
+  imul
+  load 1
+  iadd
+  store 0
+  load 1
+  iconst 1
+  iadd
+  store 1
+  jmp loop
+done:
+  ret
+end
+`
+	p := buildProgram(t, src)
+	for _, d := range []Dispatch{DispatchThreaded, DispatchSwitch} {
+		v, err := New(Config{Program: p, Env: env.New(1), MaxInstructions: 50_000_000, Dispatch: d})
+		if err != nil {
+			t.Fatalf("new vm (%v): %v", d, err)
+		}
+		n := mallocsDuring(func() {
+			if err := v.Run(); err != nil {
+				t.Fatalf("run (%v): %v", d, err)
+			}
+		})
+		// ~3.9M executed instructions: one allocation per iteration (or per
+		// block) would show up as hundreds of thousands.
+		if n > 1000 {
+			t.Errorf("%v: hot loop performed %d allocations, want bounded setup-only (<1000)", d, n)
+		}
+	}
+}

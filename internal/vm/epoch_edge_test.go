@@ -1,0 +1,192 @@
+package vm
+
+// Epoch-counter edge tests: the threaded engine checks kill/budget/preemption
+// only at block boundaries, so the places where that epoch approximation
+// must collapse back to per-instruction precision — an instruction budget
+// running out in the middle of a fused group, a preemption target landing
+// exactly on a block edge — are pinned here by running both engines over the
+// same inputs and requiring identical observables. The replication-level
+// variants (a replay cut between two progress flushes, kills on block edges
+// under a live backup) live in the internal/simtest replay-seed table.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/env"
+)
+
+// epochLoop compiles into pair- and wide-fused groups (load+const compare
+// branches, load+const+alu+store chains), so small instruction budgets land
+// at every offset inside fused groups across the sweep.
+const epochLoop = `
+method main 0 void
+  iconst 0
+  store 0
+  iconst 0
+  store 1
+loop:
+  load 1
+  iconst 300
+  icmp
+  jz done
+  load 0
+  iconst 31
+  imul
+  load 1
+  iadd
+  store 0
+  load 1
+  iconst 1
+  iadd
+  store 1
+  jmp loop
+done:
+  ret
+end
+`
+
+// TestBudgetEdgeAcrossEngines sweeps MaxInstructions through every offset of
+// the loop's first iterations — including values that exhaust the budget in
+// the middle of a fused pair or wide group — and requires both engines to
+// fault identically: same error, same instruction count at the fault, same
+// progress checksum when tracking.
+func TestBudgetEdgeAcrossEngines(t *testing.T) {
+	p := buildProgram(t, epochLoop)
+	for _, track := range []bool{false, true} {
+		for budget := uint64(1); budget <= 150; budget++ {
+			type outcome struct {
+				budgetErr bool
+				otherErr  bool
+				stats     Stats
+				chk       uint64
+			}
+			run := func(d Dispatch) outcome {
+				v, err := New(Config{
+					Program: p, Env: env.New(1),
+					MaxInstructions: budget,
+					TrackProgress:   track,
+					Dispatch:        d,
+				})
+				if err != nil {
+					t.Fatalf("new vm (%v): %v", d, err)
+				}
+				runErr := v.Run()
+				o := outcome{
+					budgetErr: errors.Is(runErr, ErrInstrBudget),
+					otherErr:  runErr != nil && !errors.Is(runErr, ErrInstrBudget),
+					stats:     v.Stats(),
+				}
+				for _, th := range v.Threads() {
+					o.chk ^= th.Progress.Chk
+				}
+				return o
+			}
+			sw, th := run(DispatchSwitch), run(DispatchThreaded)
+			if sw != th {
+				t.Fatalf("track=%v budget=%d: engines diverged\n  switch: %+v\nthreaded: %+v",
+					track, budget, sw, th)
+			}
+			if sw.otherErr {
+				t.Fatalf("track=%v budget=%d: unexpected non-budget error", track, budget)
+			}
+		}
+	}
+}
+
+// TestQuantumSweepAcrossEngines drives a two-thread lock workload under
+// degenerate scheduling quanta — quantum 1 preempts at every single branch,
+// so every slice boundary is a block edge — and requires both engines to
+// produce the same console, counters, and per-thread progress checksums.
+func TestQuantumSweepAcrossEngines(t *testing.T) {
+	src := printNative + `
+static Main.lock
+static Main.counter
+class Lock dummy
+method worker 1 void
+  iconst 0
+  store 1
+wloop:
+  load 1
+  iconst 50
+  icmp
+  jz wdone
+  gets Main.lock
+  menter
+  gets Main.counter
+  iconst 1
+  iadd
+  puts Main.counter
+  gets Main.lock
+  mexit
+  load 1
+  iconst 1
+  iadd
+  store 1
+  jmp wloop
+wdone:
+  ret
+end
+method main 0 void
+  new Lock
+  puts Main.lock
+  iconst 0
+  puts Main.counter
+  iconst 0
+  spawn worker 1
+  store 0
+  iconst 1
+  spawn worker 1
+  store 1
+  load 0
+  join
+  load 1
+  join
+  gets Main.counter
+  i2s
+  call print
+  ret
+end
+`
+	p := buildProgram(t, src)
+	quanta := []struct{ lo, hi uint64 }{{1, 1}, {2, 2}, {3, 7}, {16, 16}, {64, 512}}
+	for _, q := range quanta {
+		type outcome struct {
+			console string
+			stats   Stats
+			chk     uint64
+		}
+		run := func(d Dispatch) outcome {
+			e := env.New(7)
+			v, err := New(Config{
+				Program: p, Env: e,
+				Coordinator:     NewDefaultCoordinator(NewSeededPolicy(11, q.lo, q.hi)),
+				MaxInstructions: 10_000_000,
+				TrackProgress:   true,
+				Dispatch:        d,
+			})
+			if err != nil {
+				t.Fatalf("new vm (%v): %v", d, err)
+			}
+			if err := v.Run(); err != nil {
+				t.Fatalf("quantum %d-%d (%v): %v", q.lo, q.hi, d, err)
+			}
+			var o outcome
+			for _, ln := range e.Console().Lines() {
+				o.console += ln + "\n"
+			}
+			o.stats = v.Stats()
+			for _, th := range v.Threads() {
+				o.chk ^= th.Progress.Chk
+			}
+			return o
+		}
+		sw, th := run(DispatchSwitch), run(DispatchThreaded)
+		if sw != th {
+			t.Fatalf("quantum %d-%d: engines diverged\n  switch: %+v\nthreaded: %+v", q.lo, q.hi, sw, th)
+		}
+		if sw.console != "100\n" {
+			t.Fatalf("quantum %d-%d: console %q, want 100", q.lo, q.hi, sw.console)
+		}
+	}
+}

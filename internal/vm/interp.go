@@ -104,11 +104,14 @@ func (vm *VM) strAt(v heap.Value) (string, error) {
 // stops the slice at exactly the same instruction as the historical
 // every-instruction check.
 func (vm *VM) runSlice(t *Thread, target SliceTarget) error {
-	slow := vm.trackProgress || target.Exact
+	slow := vm.trackProgress || target.Exact || vm.pairs != nil
 	capv := vm.instrCap
 	if capv == 0 {
 		capv = ^uint64(0)
 	}
+	// prevOp threads the dynamic opcode-pair profile (Config.PairCounter)
+	// through the slice: consecutive executed instructions, reset per slice.
+	prevOp := bytecode.OpInvalid
 	// The instruction counter is kept in a register (icnt) and written back
 	// at every exit; nothing reads vm.stats.Instructions while a slice is
 	// mid-flight.
@@ -1135,6 +1138,12 @@ func (vm *VM) runSlice(t *Thread, target SliceTarget) error {
 			}
 			// Post-instruction bookkeeping, in the historical order.
 			if slow {
+				if vm.pairs != nil {
+					if prevOp != bytecode.OpInvalid {
+						vm.pairs.Add(prevOp, in.Op)
+					}
+					prevOp = in.Op
+				}
 				if !flushed {
 					f.PC, f.Stack = pc, stack
 					flushed = true

@@ -1,0 +1,1510 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/bytecode"
+	"repro/internal/heap"
+)
+
+// The subroutine-threaded engine (Options.Dispatch = threaded, the default).
+//
+// Each predecoded method is compiled once, at VM construction, into an array
+// of per-slot closures (tmethod.code): one specialized closure per resolved
+// instruction, indexed by pc exactly like the RInstr stream it was compiled
+// from. The driver (runThreaded) executes a basic block as
+//
+//	for code[c.pc](c) {}
+//
+// so straight-line code pays one indirect call per superinstruction group and
+// nothing else: no opcode switch, no per-instruction kill/budget/replay
+// checks. A closure returns true to stay in the block and false at a
+// boundary — a branch was executed, the op needs the outer loop (frame
+// change, blocking, possible GC), or it faulted.
+//
+// Two compilations exist per method. tcode is built from Resolved.Wide (the
+// wide-fusion superinstruction stream) and runs untracked fast slices; tslow
+// is built from Resolved.Methods (the faithful one-op-per-bytecode stream)
+// and runs progress-tracked and exact-replay slices, publishing the §4.2
+// progress snapshot and checksum after every bytecode exactly like the
+// switch loop's slow path.
+//
+// Epoch-based branch counter. The kill flag, the preemption target and the
+// instruction budget are checked only at block boundaries (every loop
+// contains a branch, so the latency is bounded), even in progress-tracked
+// mode. Within a block br_cnt cannot change (only branch-flagged
+// instructions bump it, and every branch ends its block), and budget targets
+// lie strictly above the entry br_cnt, so the block-boundary check stops the
+// slice at exactly the same instruction as the historical per-instruction
+// check. Two cases genuinely need per-instruction resolution, and both are
+// delegated to the reference switch engine (runSlice) at a boundary, which
+// makes them bit-identical by construction:
+//
+//   - exact replay epochs: while t.BrCnt < target.Br no stop position can
+//     match, so the threaded engine runs freely; the boundary that reaches
+//     the recorded branch count hands the slice tail to runSlice, which does
+//     the per-instruction (method, pc) stop checks;
+//   - budget exhaustion: when fewer than one method body's worth of budget
+//     remains (tmethod.margin), the slice tail runs under runSlice, whose
+//     per-dispatch check faults at exactly the historical instruction — even
+//     mid-fused-pair.
+//
+// Fault identity. A wide group that faults materializes the unfused state
+// first — the lead pushes it folded, the pc of the faulting instruction, the
+// instructions completed before the fault — so a fatal error reports the
+// same position and counters as the faithful stream. (The pair tier keeps
+// the switch engine's pair fault behavior: the folded push is counted but
+// not materialized.)
+
+// tclosure executes one resolved instruction (or superinstruction group).
+// It returns true to continue the current basic block, false at a boundary.
+type tclosure func(c *tctx) bool
+
+// tmethod is one method's threaded compilation.
+type tmethod struct {
+	code []tclosure
+	// margin is the near-budget delegation threshold: one straight-line pass
+	// cannot execute more than len(code) instructions, so while
+	// icnt+margin <= cap the block cannot exhaust the budget.
+	margin uint64
+}
+
+// tctx is the threaded execution state, cached in registers by the closure
+// bodies the same way runSlice caches the frame. One per VM, reused across
+// slices (the hot loop allocates nothing).
+type tctx struct {
+	vm     *VM
+	t      *Thread
+	f      *Frame
+	locals []heap.Value
+	stack  []heap.Value
+	pc     int32
+	icnt   uint64
+	err    error
+	// brk: leave the inner loop after this boundary (frame change, blocking,
+	// allocation that tripped the GC threshold, yield, halt).
+	brk bool
+	// flushed: the frame already holds the truth; the driver must not write
+	// the cached pc/stack back (they may be stale after a frame change).
+	flushed bool
+	// branch: the boundary was caused by a branch-counted instruction.
+	branch bool
+	// brTarget/icap are the slice's epoch limits, hoisted so pure branch
+	// closures can stay inside the dispatch loop: brTarget is target.Br, icap
+	// the near-budget delegation threshold (cap minus the method margin).
+	brTarget uint64
+	icap     uint64
+}
+
+// branchTick counts a branch exactly like the switch loop's dispatch header.
+func (c *tctx) branchTick() {
+	c.t.BrCnt++
+	c.vm.stats.Branches++
+	c.branch = true
+}
+
+// step finishes a successfully executed single instruction: count it and, in
+// tracked mode, publish the §4.2 progress indicators. exit=true ends the
+// block (branch or brk op).
+func (c *tctx) step(exit bool) bool {
+	c.icnt++
+	if c.vm.trackProgress {
+		c.publish()
+	}
+	return !exit
+}
+
+// contBr is the epoch check at a pure branch boundary. Nothing outside the
+// interpreter can observe state between branches unless the slice target or
+// the budget epoch arrived, or a kill was requested — so when none of those
+// hold, execution stays inside the dispatch loop and the whole check costs
+// two compares and the kill poll. Ops that change frames, block, allocate or
+// fault always exit to the driver instead.
+func (c *tctx) contBr() bool {
+	return c.t.BrCnt < c.brTarget && c.icnt <= c.icap && !c.vm.killed.Load()
+}
+
+// stepBr finishes a successfully executed single branch instruction.
+func (c *tctx) stepBr() bool {
+	c.icnt++
+	if c.vm.trackProgress {
+		c.publish()
+	}
+	return c.contBr()
+}
+
+// publish mirrors the switch loop's slow-path bookkeeping: flush the frame
+// (unless an op that handed the frame to a helper already did), then publish
+// the progress snapshot and fold the position into the control-path checksum.
+func (c *tctx) publish() {
+	if !c.flushed {
+		c.f.PC, c.f.Stack = c.pc, c.stack
+	}
+	t := c.t
+	if tf := t.Top(); tf != nil {
+		t.Progress.Method = tf.Method
+		t.Progress.PC = tf.PC
+	} else {
+		t.Progress.Method = -1
+		t.Progress.PC = -1
+	}
+	t.Progress.BrCnt = t.BrCnt
+	t.Progress.MonCnt = t.MonCnt
+	t.Progress.Chk = t.Progress.Chk*1099511628211 ^
+		(uint64(uint32(t.Progress.Method))<<32 | uint64(uint32(t.Progress.PC)))
+}
+
+// runThreaded executes one scheduling slice on the threaded engine. The
+// boundary checks run in the switch loop's historical order (error, kill,
+// preemption target, yield, brk), so every stop lands on the same
+// instruction with the same flushed state.
+func (vm *VM) runThreaded(t *Thread, target SliceTarget) error {
+	capv := vm.instrCap
+	if capv == 0 {
+		capv = ^uint64(0)
+	}
+	streams := vm.tcode
+	if vm.trackProgress || target.Exact {
+		streams = vm.tslow
+	}
+	c := &vm.tc
+	c.vm = vm
+	c.t = t
+	c.icnt = vm.stats.Instructions
+	c.brTarget = target.Br
+	for {
+		if vm.halted || t.state != StateRunnable || vm.killed.Load() {
+			vm.stats.Instructions = c.icnt
+			return nil
+		}
+		if target.Exact && t.BrCnt >= target.Br {
+			// Inside the stop epoch (or past it): the slice tail needs
+			// per-instruction stop-position checks. Delegate to the
+			// reference engine.
+			vm.stats.Instructions = c.icnt
+			return vm.runSlice(t, target)
+		}
+		if vm.hp.NeedsGC() {
+			if err := vm.runGC(t); err != nil {
+				vm.stats.Instructions = c.icnt
+				return vm.fatal(t, err)
+			}
+		}
+		f := &t.frames[len(t.frames)-1]
+		tm := &streams[f.Method]
+		if c.icnt+tm.margin > capv {
+			// Near the instruction budget: the reference engine's
+			// per-dispatch check decides the exact faulting instruction.
+			vm.stats.Instructions = c.icnt
+			return vm.runSlice(t, target)
+		}
+		c.icap = capv - tm.margin
+		c.f = f
+		c.locals = f.Locals
+		c.stack = f.Stack
+		c.pc = f.PC
+		code := tm.code
+	inner:
+		for {
+			for code[c.pc](c) {
+			}
+			flushed, brk, branch := c.flushed, c.brk, c.branch
+			c.flushed, c.brk, c.branch = false, false, false
+			if c.err != nil {
+				vm.stats.Instructions = c.icnt
+				if !flushed {
+					f.PC, f.Stack = c.pc, c.stack
+				}
+				err := c.err
+				c.err = nil
+				return vm.fatal(t, err)
+			}
+			if vm.killed.Load() {
+				vm.stats.Instructions = c.icnt
+				if !flushed {
+					f.PC, f.Stack = c.pc, c.stack
+				}
+				return nil
+			}
+			if target.Exact {
+				if t.BrCnt >= target.Br {
+					vm.stats.Instructions = c.icnt
+					if !flushed {
+						f.PC, f.Stack = c.pc, c.stack
+					}
+					return vm.runSlice(t, target)
+				}
+			} else if branch && t.BrCnt >= target.Br {
+				vm.stats.Instructions = c.icnt
+				if !flushed {
+					f.PC, f.Stack = c.pc, c.stack
+				}
+				return nil
+			}
+			if t.yielded {
+				t.yielded = false
+				vm.stats.Instructions = c.icnt
+				if !flushed {
+					f.PC, f.Stack = c.pc, c.stack
+				}
+				return nil
+			}
+			if brk {
+				if !flushed {
+					f.PC, f.Stack = c.pc, c.stack
+				}
+				break inner
+			}
+			if c.icnt+tm.margin > capv {
+				f.PC, f.Stack = c.pc, c.stack
+				vm.stats.Instructions = c.icnt
+				return vm.runSlice(t, target)
+			}
+		}
+	}
+}
+
+// compileThreaded compiles one resolved stream set (per-method, index-aligned
+// with prog.Methods; nil for natives) into closure arrays.
+func (vm *VM) compileThreaded(streams [][]bytecode.RInstr) []tmethod {
+	out := make([]tmethod, len(streams))
+	for mi, code := range streams {
+		if code == nil {
+			continue
+		}
+		cl := make([]tclosure, len(code))
+		for pc := range code {
+			cl[pc] = vm.compileOp(code[pc])
+		}
+		out[mi] = tmethod{code: cl, margin: uint64(len(code)) + 16}
+	}
+	return out
+}
+
+// aluFn returns the integer ALU function of a base opcode (wide-fusion set).
+func aluFn(op bytecode.Opcode) func(a, b int64) int64 {
+	switch op {
+	case bytecode.OpIAdd:
+		return func(a, b int64) int64 { return a + b }
+	case bytecode.OpISub:
+		return func(a, b int64) int64 { return a - b }
+	case bytecode.OpIMul:
+		return func(a, b int64) int64 { return a * b }
+	case bytecode.OpIAnd:
+		return func(a, b int64) int64 { return a & b }
+	case bytecode.OpIOr:
+		return func(a, b int64) int64 { return a | b }
+	case bytecode.OpIXor:
+		return func(a, b int64) int64 { return a ^ b }
+	case bytecode.OpIShl:
+		return func(a, b int64) int64 { return a << (uint64(b) & 63) }
+	case bytecode.OpIShr:
+		return func(a, b int64) int64 { return a >> (uint64(b) & 63) }
+	default:
+		panic("threaded: not a wide ALU op: " + op.String())
+	}
+}
+
+// pairALU lists the pair-fusion tier's ALU set in fuseDelta allocation order
+// (OpIAddC+d / OpIAddL+d): add, sub, mul, div, rem, and, or, xor, shl, shr,
+// icmp. div marks the divide-by-zero fault path.
+var pairALU = [...]struct {
+	fn  func(a, b int64) int64
+	div bool
+}{
+	{func(a, b int64) int64 { return a + b }, false},
+	{func(a, b int64) int64 { return a - b }, false},
+	{func(a, b int64) int64 { return a * b }, false},
+	{func(a, b int64) int64 { return a / b }, true},
+	{func(a, b int64) int64 { return a % b }, true},
+	{func(a, b int64) int64 { return a & b }, false},
+	{func(a, b int64) int64 { return a | b }, false},
+	{func(a, b int64) int64 { return a ^ b }, false},
+	{func(a, b int64) int64 { return a << (uint64(b) & 63) }, false},
+	{func(a, b int64) int64 { return a >> (uint64(b) & 63) }, false},
+	{cmpInt, false},
+}
+
+// relFn returns the boolean relation a compare idiom computes: the unfused
+// icmp + arithmetic epilogue pushes exactly 1 when the relation holds and 0
+// otherwise, so evaluating it directly is bit-identical.
+func relFn(rel bytecode.WideRel) func(a, b int64) bool {
+	switch rel {
+	case bytecode.RelLt:
+		return func(a, b int64) bool { return a < b }
+	case bytecode.RelGe:
+		return func(a, b int64) bool { return a >= b }
+	case bytecode.RelGt:
+		return func(a, b int64) bool { return a > b }
+	case bytecode.RelLe:
+		return func(a, b int64) bool { return a <= b }
+	case bytecode.RelEq:
+		return func(a, b int64) bool { return a == b }
+	case bytecode.RelNe:
+		return func(a, b int64) bool { return a != b }
+	default:
+		panic("threaded: no relation")
+	}
+}
+
+// compileOp builds the closure for one resolved instruction.
+func (vm *VM) compileOp(in bytecode.RInstr) tclosure {
+	if wi, ok := bytecode.WideOpInfo(in.Op); ok {
+		return vm.compileWide(in, wi)
+	}
+	if in.Op >= bytecode.OpIAddC && in.Op <= bytecode.OpICmpL {
+		return compilePair(in)
+	}
+	return vm.compileBase(in)
+}
+
+// compilePair builds the pair-fusion tier closures (iconst/load + ALU in one
+// dispatch). Fault accounting matches the switch engine's pair cases: the
+// folded push is counted (icnt+1) before any error.
+func compilePair(in bytecode.RInstr) tclosure {
+	if in.Op >= bytecode.OpIAddL {
+		p := pairALU[in.Op-bytecode.OpIAddL]
+		slot := in.A
+		fn, div := p.fn, p.div
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a, b := c.stack[n-1], c.locals[slot]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.icnt++
+				c.err = intOpErr(a, b)
+				return false
+			}
+			if div && b.I == 0 {
+				c.icnt++
+				c.err = errDivByZero
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(fn(a.I, b.I))
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	}
+	p := pairALU[in.Op-bytecode.OpIAddC]
+	k := in.I
+	fn, div := p.fn, p.div
+	return func(c *tctx) bool {
+		n := len(c.stack)
+		a := c.stack[n-1]
+		if a.Kind != heap.KindInt {
+			c.icnt++
+			c.err = notInt(a)
+			return false
+		}
+		if div && k == 0 {
+			c.icnt++
+			c.err = errDivByZero
+			return false
+		}
+		c.stack[n-1] = heap.IntVal(fn(a.I, k))
+		c.pc += 2
+		c.icnt += 2
+		return true
+	}
+}
+
+// compileWide builds the wide superinstruction closures. Success paths fold
+// the whole group into one dispatch and count its full width; fault paths
+// materialize the unfused state (lead pushes, faulting pc, completed count)
+// so fatal errors are indistinguishable from the faithful stream's.
+func (vm *VM) compileWide(in bytecode.RInstr, wi bytecode.WideInfo) tclosure {
+	w := uint64(wi.Width)
+	switch wi.Shape {
+	case bytecode.WShapeLC:
+		slot, k := in.A, heap.IntVal(in.I)
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.locals[slot], k)
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	case bytecode.WShapeLL:
+		sa, sb := in.A, in.B
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.locals[sa], c.locals[sb])
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	case bytecode.WShapeGetsL:
+		gs, slot := in.A, in.B
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.vm.statics[gs], c.locals[slot])
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	case bytecode.WShapeLGets:
+		slot, gs := in.A, in.B
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.locals[slot], c.vm.statics[gs])
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	case bytecode.WShapeStL:
+		st, ld := in.A, in.B
+		return func(c *tctx) bool {
+			n := len(c.stack) - 1
+			c.locals[st] = c.stack[n]
+			c.stack[n] = c.locals[ld]
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	case bytecode.WShapeStJmp:
+		st, tgt := in.A, in.B
+		return func(c *tctx) bool {
+			n := len(c.stack) - 1
+			c.locals[st] = c.stack[n]
+			c.stack = c.stack[:n]
+			c.branchTick()
+			c.pc = tgt
+			c.icnt += 2
+			return c.contBr()
+		}
+	case bytecode.WShapeAluSt:
+		fn, st := aluFn(wi.ALU), in.A
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.locals[st] = heap.IntVal(fn(a.I, b.I))
+			c.stack = c.stack[:n-2]
+			c.pc += 2
+			c.icnt += 2
+			return true
+		}
+	case bytecode.WShapeLCAlu:
+		fn, slot, k := aluFn(wi.ALU), in.A, in.I
+		kv := heap.IntVal(k)
+		return func(c *tctx) bool {
+			a := c.locals[slot]
+			if a.Kind != heap.KindInt {
+				c.stack = append(c.stack, a, kv)
+				c.pc += 2
+				c.icnt += 2
+				c.err = notInt(a)
+				return false
+			}
+			c.stack = append(c.stack, heap.IntVal(fn(a.I, k)))
+			c.pc += 3
+			c.icnt += 3
+			return true
+		}
+	case bytecode.WShapeLLAlu:
+		fn, sa, sb := aluFn(wi.ALU), in.A, in.B
+		return func(c *tctx) bool {
+			a, b := c.locals[sa], c.locals[sb]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.stack = append(c.stack, a, b)
+				c.pc += 2
+				c.icnt += 2
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.stack = append(c.stack, heap.IntVal(fn(a.I, b.I)))
+			c.pc += 3
+			c.icnt += 3
+			return true
+		}
+	case bytecode.WShapeCAluSt:
+		fn, k, st := aluFn(wi.ALU), in.I, in.A
+		kv := heap.IntVal(k)
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a := c.stack[n-1]
+			if a.Kind != heap.KindInt {
+				c.stack = append(c.stack, kv)
+				c.pc++
+				c.icnt++
+				c.err = notInt(a)
+				return false
+			}
+			c.locals[st] = heap.IntVal(fn(a.I, k))
+			c.stack = c.stack[:n-1]
+			c.pc += 3
+			c.icnt += 3
+			return true
+		}
+	case bytecode.WShapeLAluSt:
+		fn, ld, st := aluFn(wi.ALU), in.B, in.A
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a, b := c.stack[n-1], c.locals[ld]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.stack = append(c.stack, b)
+				c.pc++
+				c.icnt++
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(fn(a.I, b.I))
+			c.locals[st] = c.stack[n-1]
+			c.stack = c.stack[:n-1]
+			c.pc += 3
+			c.icnt += 3
+			return true
+		}
+	case bytecode.WShapeLCAluSt:
+		fn, slot, k, st := aluFn(wi.ALU), in.A, in.I, in.B
+		kv := heap.IntVal(k)
+		return func(c *tctx) bool {
+			a := c.locals[slot]
+			if a.Kind != heap.KindInt {
+				c.stack = append(c.stack, a, kv)
+				c.pc += 2
+				c.icnt += 2
+				c.err = notInt(a)
+				return false
+			}
+			c.locals[st] = heap.IntVal(fn(a.I, k))
+			c.pc += 4
+			c.icnt += 4
+			return true
+		}
+	case bytecode.WShapeLLAluSt:
+		fn, sa, sb, st := aluFn(wi.ALU), in.A, in.B, int32(in.I)
+		return func(c *tctx) bool {
+			a, b := c.locals[sa], c.locals[sb]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.stack = append(c.stack, a, b)
+				c.pc += 2
+				c.icnt += 2
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.locals[st] = heap.IntVal(fn(a.I, b.I))
+			c.pc += 4
+			c.icnt += 4
+			return true
+		}
+	case bytecode.WShapeCmpBr:
+		rel, jnz, tgt := relFn(wi.Rel), wi.JmpNZ, in.A
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.stack = c.stack[:n-2]
+			c.branchTick()
+			if rel(a.I, b.I) == jnz {
+				c.pc = tgt
+			} else {
+				c.pc += int32(w)
+			}
+			c.icnt += w
+			return c.contBr()
+		}
+	case bytecode.WShapeCmpV:
+		rel := relFn(wi.Rel)
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.stack[n-2] = heap.BoolVal(rel(a.I, b.I))
+			c.stack = c.stack[:n-1]
+			c.pc += int32(w)
+			c.icnt += w
+			return true
+		}
+	case bytecode.WShapeLCCmpBr:
+		rel, jnz, slot, k, tgt := relFn(wi.Rel), wi.JmpNZ, in.A, in.I, in.B
+		kv := heap.IntVal(k)
+		return func(c *tctx) bool {
+			a := c.locals[slot]
+			if a.Kind != heap.KindInt {
+				c.stack = append(c.stack, a, kv)
+				c.pc += 2
+				c.icnt += 2
+				c.err = notInt(a)
+				return false
+			}
+			c.branchTick()
+			if rel(a.I, k) == jnz {
+				c.pc = tgt
+			} else {
+				c.pc += int32(w)
+			}
+			c.icnt += w
+			return c.contBr()
+		}
+	case bytecode.WShapeLLCmpBr:
+		rel, jnz, sa, sb, tgt := relFn(wi.Rel), wi.JmpNZ, in.A, in.B, int32(in.I)
+		return func(c *tctx) bool {
+			a, b := c.locals[sa], c.locals[sb]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.stack = append(c.stack, a, b)
+				c.pc += 2
+				c.icnt += 2
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.branchTick()
+			if rel(a.I, b.I) == jnz {
+				c.pc = tgt
+			} else {
+				c.pc += int32(w)
+			}
+			c.icnt += w
+			return c.contBr()
+		}
+	default:
+		panic(fmt.Sprintf("threaded: unhandled wide shape %d", wi.Shape))
+	}
+}
+
+// compileBase builds the closure for a base (unfused) opcode. Each body is a
+// direct transcription of the corresponding runSlice case; step() supplies
+// the shared post-instruction bookkeeping (count, tracked-mode publication).
+func (vm *VM) compileBase(in bytecode.RInstr) tclosure {
+	switch in.Op {
+	case bytecode.OpNop:
+		return func(c *tctx) bool {
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpIConst:
+		v := heap.IntVal(in.I)
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, v)
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpFConst:
+		v := heap.FloatVal(in.F)
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, v)
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpSConst:
+		// Pre-interned at load time (compileThreaded runs after interning):
+		// the ref is captured here, so executing sconst never allocates.
+		v := heap.RefVal(vm.interned[in.A])
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, v)
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpNull:
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, heap.Null())
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpPop:
+		return func(c *tctx) bool {
+			c.stack = c.stack[:len(c.stack)-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpDup:
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.stack[len(c.stack)-1])
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpSwap:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			c.stack[n-1], c.stack[n-2] = c.stack[n-2], c.stack[n-1]
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpLoad:
+		slot := in.A
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.locals[slot])
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpStore:
+		slot := in.A
+		return func(c *tctx) bool {
+			n := len(c.stack) - 1
+			c.locals[slot] = c.stack[n]
+			c.stack = c.stack[:n]
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpIAdd, bytecode.OpISub, bytecode.OpIMul, bytecode.OpIAnd,
+		bytecode.OpIOr, bytecode.OpIXor, bytecode.OpIShl, bytecode.OpIShr:
+		fn := aluFn(in.Op)
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.stack[n-2] = heap.IntVal(fn(a.I, b.I))
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpIDiv, bytecode.OpIRem:
+		rem := in.Op == bytecode.OpIRem
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.err = intOpErr(a, b)
+				return false
+			}
+			if b.I == 0 {
+				c.err = errDivByZero
+				return false
+			}
+			if rem {
+				c.stack[n-2] = heap.IntVal(a.I % b.I)
+			} else {
+				c.stack[n-2] = heap.IntVal(a.I / b.I)
+			}
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpINeg:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a := c.stack[n-1]
+			if a.Kind != heap.KindInt {
+				c.err = notInt(a)
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(-a.I)
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpFAdd, bytecode.OpFSub, bytecode.OpFMul, bytecode.OpFDiv:
+		op := in.Op
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindFloat || b.Kind != heap.KindFloat {
+				c.err = floatOpErr(a, b)
+				return false
+			}
+			var r float64
+			switch op {
+			case bytecode.OpFAdd:
+				r = a.F + b.F
+			case bytecode.OpFSub:
+				r = a.F - b.F
+			case bytecode.OpFMul:
+				r = a.F * b.F
+			default:
+				r = a.F / b.F
+			}
+			c.stack[n-2] = heap.FloatVal(r)
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpFNeg:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a := c.stack[n-1]
+			if a.Kind != heap.KindFloat {
+				c.err = notFloat(a)
+				return false
+			}
+			c.stack[n-1] = heap.FloatVal(-a.F)
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpI2F:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a := c.stack[n-1]
+			if a.Kind != heap.KindInt {
+				c.err = notInt(a)
+				return false
+			}
+			c.stack[n-1] = heap.FloatVal(float64(a.I))
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpF2I:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			a := c.stack[n-1]
+			if a.Kind != heap.KindFloat {
+				c.err = notFloat(a)
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(int64(a.F))
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpICmp:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindInt || b.Kind != heap.KindInt {
+				c.err = intOpErr(a, b)
+				return false
+			}
+			c.stack[n-2] = heap.IntVal(cmpInt(a.I, b.I))
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpFCmp:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if a.Kind != heap.KindFloat || b.Kind != heap.KindFloat {
+				c.err = floatOpErr(a, b)
+				return false
+			}
+			var res int64
+			switch {
+			case a.F < b.F:
+				res = -1
+			case a.F > b.F:
+				res = 1
+			}
+			c.stack[n-2] = heap.IntVal(res)
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpSCmp:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			sb, serr := c.vm.strAt(c.stack[n-1])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			sa, serr := c.vm.strAt(c.stack[n-2])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			var res int64
+			switch {
+			case sa < sb:
+				res = -1
+			case sa > sb:
+				res = 1
+			}
+			c.stack[n-2] = heap.IntVal(res)
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpRefEq:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			b, a := c.stack[n-1], c.stack[n-2]
+			if b.Kind != heap.KindRef {
+				c.err = notRef(b)
+				return false
+			}
+			if a.Kind != heap.KindRef {
+				c.err = notRef(a)
+				return false
+			}
+			c.stack[n-2] = heap.BoolVal(a.R == b.R)
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpJmp:
+		tgt := in.A
+		return func(c *tctx) bool {
+			c.branchTick()
+			c.pc = tgt
+			return c.stepBr()
+		}
+	case bytecode.OpJz, bytecode.OpJnz:
+		tgt, nz := in.A, in.Op == bytecode.OpJnz
+		return func(c *tctx) bool {
+			c.branchTick()
+			n := len(c.stack)
+			v := c.stack[n-1]
+			if v.Kind != heap.KindInt {
+				c.err = notInt(v)
+				return false
+			}
+			c.stack = c.stack[:n-1]
+			if (v.I != 0) == nz {
+				c.pc = tgt
+			} else {
+				c.pc++
+			}
+			return c.stepBr()
+		}
+
+	case bytecode.OpCall:
+		mi := in.A
+		return func(c *tctx) bool {
+			c.branchTick()
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			if err := c.vm.doCall(c.t, f, mi); err != nil {
+				c.err = err
+				return false
+			}
+			return c.step(true)
+		}
+	case bytecode.OpRet, bytecode.OpRetV:
+		hasVal := in.Op == bytecode.OpRetV
+		return func(c *tctx) bool {
+			c.branchTick()
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			if err := c.vm.doReturn(c.t, hasVal); err != nil {
+				c.err = err
+				return false
+			}
+			return c.step(true)
+		}
+
+	case bytecode.OpNew:
+		cls, nf, fin := in.A, int(in.I), in.B != 0
+		return func(c *tctx) bool {
+			r, aerr := c.vm.hp.AllocRecord(cls, nf, fin)
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack = append(c.stack, heap.RefVal(r))
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpGetF:
+		fld := int(in.A)
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			rv := c.stack[n-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			v, gerr := c.vm.hp.GetField(rv.R, fld)
+			if gerr != nil {
+				c.err = gerr
+				return false
+			}
+			c.stack[n-1] = v
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpPutF:
+		fld := int(in.A)
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			v, rv := c.stack[n-1], c.stack[n-2]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			if serr := c.vm.hp.SetField(rv.R, fld, v); serr != nil {
+				c.err = serr
+				return false
+			}
+			c.stack = c.stack[:n-2]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpGetS:
+		slot := in.A
+		return func(c *tctx) bool {
+			c.stack = append(c.stack, c.vm.statics[slot])
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpPutS:
+		slot := in.A
+		return func(c *tctx) bool {
+			n := len(c.stack) - 1
+			c.vm.statics[slot] = c.stack[n]
+			c.stack = c.stack[:n]
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpNewArr:
+		kind := in.A
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			nv := c.stack[n-1]
+			if nv.Kind != heap.KindInt {
+				c.err = notInt(nv)
+				return false
+			}
+			var r heap.Ref
+			var aerr error
+			switch kind {
+			case bytecode.ElemInt:
+				r, aerr = c.vm.hp.AllocIntArr(int(nv.I))
+			case bytecode.ElemFloat:
+				r, aerr = c.vm.hp.AllocFloatArr(int(nv.I))
+			default:
+				r, aerr = c.vm.hp.AllocRefArr(int(nv.I))
+			}
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack[n-1] = heap.RefVal(r)
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpALoad:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			iv, rv := c.stack[n-1], c.stack[n-2]
+			if iv.Kind != heap.KindInt {
+				c.err = notInt(iv)
+				return false
+			}
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			v, gerr := c.vm.hp.ArrGet(rv.R, int(iv.I))
+			if gerr != nil {
+				c.err = gerr
+				return false
+			}
+			c.stack[n-2] = v
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpAStore:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			v, iv, rv := c.stack[n-1], c.stack[n-2], c.stack[n-3]
+			if iv.Kind != heap.KindInt {
+				c.err = notInt(iv)
+				return false
+			}
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			if serr := c.vm.hp.ArrSet(rv.R, int(iv.I), v); serr != nil {
+				c.err = serr
+				return false
+			}
+			c.stack = c.stack[:n-3]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpALen:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			rv := c.stack[n-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			ln, gerr := c.vm.hp.ArrLen(rv.R)
+			if gerr != nil {
+				c.err = gerr
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(int64(ln))
+			c.pc++
+			return c.step(false)
+		}
+
+	default:
+		return vm.compileBaseMisc(in)
+	}
+}
+
+// compileBaseMisc continues compileBase: string, monitor, thread and
+// lifecycle opcodes (cold relative to the ALU/control tier).
+func (vm *VM) compileBaseMisc(in bytecode.RInstr) tclosure {
+	switch in.Op {
+	case bytecode.OpSLen:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			s, serr := c.vm.strAt(c.stack[n-1])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(int64(len(s)))
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpSCat:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			sb, serr := c.vm.strAt(c.stack[n-1])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			sa, serr := c.vm.strAt(c.stack[n-2])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			r, aerr := c.vm.hp.AllocString(sa + sb)
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack[n-2] = heap.RefVal(r)
+			c.stack = c.stack[:n-1]
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpSIdx:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			iv := c.stack[n-1]
+			if iv.Kind != heap.KindInt {
+				c.err = notInt(iv)
+				return false
+			}
+			s, serr := c.vm.strAt(c.stack[n-2])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			if iv.I < 0 || iv.I >= int64(len(s)) {
+				c.err = fmt.Errorf("string index %d of %d: %w", iv.I, len(s), heap.ErrIndexOOB)
+				return false
+			}
+			c.stack[n-2] = heap.IntVal(int64(s[iv.I]))
+			c.stack = c.stack[:n-1]
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpSSub:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			ev, sv := c.stack[n-1], c.stack[n-2]
+			if ev.Kind != heap.KindInt {
+				c.err = notInt(ev)
+				return false
+			}
+			if sv.Kind != heap.KindInt {
+				c.err = notInt(sv)
+				return false
+			}
+			s, serr := c.vm.strAt(c.stack[n-3])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			start, end := sv.I, ev.I
+			if start < 0 || end < start || end > int64(len(s)) {
+				c.err = fmt.Errorf("substring [%d,%d) of %d: %w", start, end, len(s), heap.ErrIndexOOB)
+				return false
+			}
+			r, aerr := c.vm.hp.AllocString(s[start:end])
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack[n-3] = heap.RefVal(r)
+			c.stack = c.stack[:n-2]
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpI2S:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			av := c.stack[n-1]
+			if av.Kind != heap.KindInt {
+				c.err = notInt(av)
+				return false
+			}
+			r, aerr := c.vm.hp.AllocString(strconv.FormatInt(av.I, 10))
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack[n-1] = heap.RefVal(r)
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpF2S:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			av := c.stack[n-1]
+			if av.Kind != heap.KindFloat {
+				c.err = notFloat(av)
+				return false
+			}
+			r, aerr := c.vm.hp.AllocString(strconv.FormatFloat(av.F, 'g', -1, 64))
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack[n-1] = heap.RefVal(r)
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpS2I:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			s, serr := c.vm.strAt(c.stack[n-1])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			nv, perr := strconv.ParseInt(s, 10, 64)
+			if perr != nil {
+				nv = 0
+			}
+			c.stack[n-1] = heap.IntVal(nv)
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpChr:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			av := c.stack[n-1]
+			if av.Kind != heap.KindInt {
+				c.err = notInt(av)
+				return false
+			}
+			r, aerr := c.vm.hp.AllocString(string([]byte{byte(av.I)}))
+			if aerr != nil {
+				c.err = aerr
+				return false
+			}
+			c.stack[n-1] = heap.RefVal(r)
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(c.brk)
+		}
+	case bytecode.OpHashStr:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			s, serr := c.vm.strAt(c.stack[n-1])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			c.stack[n-1] = heap.IntVal(fnv64(s))
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpMEnter:
+		return func(c *tctx) bool {
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			rv := c.stack[len(c.stack)-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			done, merr := c.vm.monEnter(c.t, rv.R)
+			if merr != nil {
+				c.err = merr
+				return false
+			}
+			if done {
+				f.Stack = f.Stack[:len(f.Stack)-1]
+				f.PC = c.pc + 1
+			}
+			// Blocked or gated: PC unchanged, re-execute on resume.
+			return c.step(true)
+		}
+	case bytecode.OpMExit:
+		return func(c *tctx) bool {
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			rv := c.stack[len(c.stack)-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			f.Stack = f.Stack[:len(f.Stack)-1]
+			if merr := c.vm.monExit(c.t, rv.R); merr != nil {
+				c.err = merr
+				return false
+			}
+			f.PC = c.pc + 1
+			return c.step(true)
+		}
+	case bytecode.OpWait:
+		return func(c *tctx) bool {
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			rv := c.stack[len(c.stack)-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			if c.t.reacquiring {
+				done, rerr := c.vm.reacquireAfterWait(c.t, rv.R)
+				if rerr != nil {
+					c.err = rerr
+					return false
+				}
+				if done {
+					f.Stack = f.Stack[:len(f.Stack)-1] // wait completed
+					f.PC = c.pc + 1
+				}
+			} else {
+				c.vm.stats.WaitOps++
+				if werr := c.vm.monWait(c.t, rv.R); werr != nil {
+					c.err = werr
+					return false
+				}
+				// Now waiting; PC unchanged.
+			}
+			return c.step(true)
+		}
+	case bytecode.OpNotify, bytecode.OpNotifyAll:
+		nn := 1
+		if in.Op == bytecode.OpNotifyAll {
+			nn = -1
+		}
+		return func(c *tctx) bool {
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			rv := c.stack[len(c.stack)-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			f.Stack = f.Stack[:len(f.Stack)-1]
+			c.vm.stats.NotifyOps++
+			if merr := c.vm.monNotify(c.t, rv.R, nn); merr != nil {
+				c.err = merr
+				return false
+			}
+			f.PC = c.pc + 1
+			return c.step(true)
+		}
+
+	case bytecode.OpSpawn:
+		mi, nargs := in.A, int(in.B)
+		return func(c *tctx) bool {
+			c.branchTick()
+			if c.t.finalizerDepth > 0 {
+				c.err = errFinalizerSpawn()
+				return false
+			}
+			base := len(c.stack) - nargs
+			child, serr := c.vm.newThread(c.t, mi, c.stack[base:])
+			if serr != nil {
+				c.err = serr
+				return false
+			}
+			c.stack = append(c.stack[:base], heap.RefVal(child.Ref))
+			c.pc++
+			c.brk = c.vm.hp.NeedsGC()
+			return c.step(true)
+		}
+	case bytecode.OpJoin:
+		return func(c *tctx) bool {
+			c.branchTick()
+			f := c.f
+			f.PC, f.Stack = c.pc, c.stack
+			c.flushed, c.brk = true, true
+			rv := c.stack[len(c.stack)-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			if _, gerr := c.vm.hp.GetKind(rv.R, heap.ObjThread); gerr != nil {
+				c.err = fmt.Errorf("join: %w", gerr)
+				return false
+			}
+			f.Stack = f.Stack[:len(f.Stack)-1]
+			f.PC = c.pc + 1 // return past the join
+			c.t.pushFrame(c.vm.prog.Methods[c.vm.joinIdx], c.vm.joinIdx, []heap.Value{heap.RefVal(rv.R)})
+			return c.step(true)
+		}
+	case bytecode.OpYield:
+		return func(c *tctx) bool {
+			c.t.yielded = true
+			c.brk = true
+			c.pc++
+			return c.step(true)
+		}
+	case bytecode.OpAlive:
+		return func(c *tctx) bool {
+			n := len(c.stack)
+			rv := c.stack[n-1]
+			if rv.Kind != heap.KindRef {
+				c.err = notRef(rv)
+				return false
+			}
+			obj, gerr := c.vm.hp.GetKind(rv.R, heap.ObjThread)
+			if gerr != nil {
+				c.err = fmt.Errorf("alive: %w", gerr)
+				return false
+			}
+			c.stack[n-1] = heap.BoolVal(!c.vm.threads[obj.Class].logicallyDead)
+			c.pc++
+			return c.step(false)
+		}
+	case bytecode.OpMarkDead:
+		return func(c *tctx) bool {
+			c.t.logicallyDead = true
+			c.pc++
+			return c.step(false)
+		}
+
+	case bytecode.OpHalt:
+		return func(c *tctx) bool {
+			c.pc++
+			c.vm.halted = true
+			c.brk = true
+			return c.step(true)
+		}
+
+	default:
+		err := fmt.Errorf("unimplemented opcode %s", in.Op)
+		return func(c *tctx) bool {
+			c.err = err
+			return false
+		}
+	}
+}
+
+// errFinalizerSpawn is the cold-path error for OpSpawn inside a finalizer.
+func errFinalizerSpawn() error {
+	return errors.New("finalizer spawned a thread (violates §4.3 determinism assumption)")
+}

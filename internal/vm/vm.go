@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bytecode"
+	"repro/internal/bytecode/pairfreq"
 	"repro/internal/env"
 	"repro/internal/heap"
 	"repro/internal/native"
@@ -56,6 +57,17 @@ type Config struct {
 	// after executing every bytecode", §4.2). This per-instruction cost is
 	// what dominates the Misc overhead in Figure 4.
 	TrackProgress bool
+	// Dispatch selects the interpreter engine: DispatchThreaded (default)
+	// runs the subroutine-threaded engine with wide superinstruction fusion
+	// and the epoch-based branch counter; DispatchSwitch runs the historical
+	// switch loop. Both engines are bit-identical on every replication-
+	// visible surface (see threaded.go).
+	Dispatch Dispatch
+	// PairCounter, when non-nil, records every executed opcode pair into the
+	// counter. Counting runs on the unfused switch slow path regardless of
+	// Dispatch (the dynamic pair stream feeds the fusion table, so it must
+	// see original opcodes), making it a profiling mode, not a serving mode.
+	PairCounter *pairfreq.Counter
 }
 
 // Errors returned by Run.
@@ -115,6 +127,17 @@ type VM struct {
 	runErr        error
 	instrCap      uint64
 	stats         Stats
+
+	// dispatch selects the engine; tcode/tslow are the subroutine-threaded
+	// compilations (wide-fused and faithful unfused) built when dispatch is
+	// DispatchThreaded. tc is the reusable threaded execution context.
+	dispatch Dispatch
+	tcode    []tmethod
+	tslow    []tmethod
+	tc       tctx
+
+	// pairs, when set, forces the counting slow path (see Config.PairCounter).
+	pairs *pairfreq.Counter
 }
 
 // New builds a VM for cfg. The program is augmented with the synthetic
@@ -161,6 +184,8 @@ func New(cfg Config) (*VM, error) {
 		instrCap:     cfg.MaxInstructions,
 	}
 	v.trackProgress = cfg.TrackProgress
+	v.dispatch = cfg.Dispatch
+	v.pairs = cfg.PairCounter
 	v.hp.SoftAsStrong = !cfg.SoftRefsCollectable
 	v.statics = make([]heap.Value, len(prog.Statics))
 	for i := range v.statics {
@@ -182,6 +207,14 @@ func New(cfg Config) (*VM, error) {
 			return nil, err
 		}
 		v.interned[i] = ref
+	}
+	if v.dispatch == DispatchThreaded {
+		// Compile both threaded streams after interning: sconst closures
+		// capture the interned refs directly. tcode executes the wide-fused
+		// variant (fast slices), tslow the faithful per-bytecode variant
+		// (progress tracking and exact replay).
+		v.tcode = v.compileThreaded(res.Wide)
+		v.tslow = v.compileThreaded(res.Methods)
 	}
 	return v, nil
 }
@@ -404,7 +437,7 @@ func (vm *VM) loop() error {
 			}
 		}
 		vm.cur = next
-		if err := vm.runSlice(next, target); err != nil {
+		if err := vm.runSliceDispatch(next, target); err != nil {
 			return err
 		}
 	}

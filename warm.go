@@ -55,6 +55,7 @@ func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Optio
 		GCThreshold:     opts.GCThreshold,
 		MaxInstructions: opts.MaxInstructions,
 		TrackProgress:   mode == ModeSched,
+		Dispatch:        opts.Dispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -77,6 +78,7 @@ func RunWarmReplicated(prog *Program, mode Mode, trigger KillTrigger, opts Optio
 			Policy:          vm.NewSeededPolicy(opts.PolicySeed^0x5DEECE66D, opts.MinQuantum, opts.MaxQuantum),
 			GCThreshold:     opts.GCThreshold,
 			MaxInstructions: opts.MaxInstructions,
+			Dispatch:        opts.Dispatch,
 		})
 	})
 
