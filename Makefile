@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke consensus-smoke replay-seeds golden-dual
+.PHONY: build test vet race check bench bench-smoke fuzz-smoke clock-lint sim-smoke view-smoke fleet-smoke consensus-smoke debug-smoke replay-seeds golden-dual
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ consensus-smoke:
 	$(GO) run ./cmd/ftvm-sim -consensus -progs 2 -nets 1
 	$(GO) test -short -run TestDifferentialSmoke ./internal/fuzzgen
 
+# Time-travel debugger smoke: capture a log from a deterministic replay,
+# drive the ftvm-debug REPL with a fixed script (twice, at two checkpoint
+# densities, and under both interpreter engines) requiring byte-identical
+# transcripts, then -diff a pair of diverging captures and a log against
+# itself. See scripts/debugsmoke.sh.
+debug-smoke:
+	./scripts/debugsmoke.sh
+
 # Replay the regression tables of historical failure classes under the
 # deterministic harness: the pair table (PR 1-3 bugs), the view-change
 # table (epoch/promotion bugs), the fleet table (at-most-once /
@@ -74,7 +82,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzProgramBinary -fuzztime 10s ./internal/bytecode
 	$(GO) test -run '^$$' -fuzz FuzzAsmRoundTrip -fuzztime 10s ./internal/bytecode
 
-check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke consensus-smoke golden-dual
+check: vet clock-lint build test race bench-smoke fuzz-smoke sim-smoke view-smoke fleet-smoke consensus-smoke debug-smoke golden-dual
 
 # The dual-mode golden gate: the full golden program suite and the
 # replication event log, bit-identical between the switch and threaded

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/fleet"
 	"repro/internal/fleet/loadgen"
 	"repro/internal/simtest/clock"
@@ -199,7 +200,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*jsonPth, append(data, '\n'), 0o644); err != nil {
+		if err := atomicio.WriteFile(*jsonPth, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPth)

@@ -44,6 +44,7 @@ func run() error {
 		stats   = flag.Bool("stats", false, "print VM statistics")
 		quiet   = flag.Bool("quiet", false, "suppress program console output")
 		maxIns  = flag.Uint64("max-instructions", 0, "abort after this many instructions (0 = unlimited)")
+		capture = flag.String("capture", "", "write the replicated run's event log to this .ftlog path (requires -mode; input for ftvm-debug)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := ftvm.Options{EnvSeed: *seed, PolicySeed: *polSeed, MaxInstructions: *maxIns}
+	if *capture != "" && *mode == "" {
+		return fmt.Errorf("-capture requires -mode (only replicated runs log events)")
+	}
+	if *capture != "" && *warm {
+		return fmt.Errorf("-capture is not supported with -warm (the warm backup consumes records as they stream)")
+	}
+	opts := ftvm.Options{EnvSeed: *seed, PolicySeed: *polSeed, MaxInstructions: *maxIns, CaptureLog: *capture}
 
 	var console []string
 	var st ftvm.Stats

@@ -35,9 +35,12 @@
 // followers, open finite partition windows on the leader lane, inject
 // stale-term frames, and vary the election seed to force contested votes.
 //
-// -replay dispatches on the key format itself: a "clients=" field means a
-// fleet combo, "who=" means a consensus combo, "kill1=" means a view combo,
-// and anything else is a pair combo.
+// -replay dispatches on the key's parsed field structure
+// (simtest.ClassifyReplayKey): a "clients" field means a fleet combo, "who"
+// means a consensus combo, "kill1" means a view combo, and anything else is a
+// pair combo. Unknown, ambiguous, or malformed fields are rejected up front
+// with an error naming the offending field. Pair replays accept -capture to
+// write the backup's replication log as a .ftlog for ftvm-debug.
 //
 // On any divergence the sweep prints the failing combo's trace line and the
 // single -replay string that reproduces it; exit status is non-zero.
@@ -51,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/fuzzgen"
 	"repro/internal/simtest"
 )
@@ -76,11 +80,15 @@ func run() error {
 		fleetSw  = flag.Bool("fleet", false, "sweep the sharded multi-tenant fleet instead of the pair")
 		clients  = flag.Int("clients", 1000, "clients per fleet combo (with -fleet)")
 		consens  = flag.Bool("consensus", false, "sweep the consensus-backed replicated log instead of the pair")
+		capture  = flag.String("capture", "", "with -replay of a pair combo: write the backup's replication log to this .ftlog file for ftvm-debug")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		return runReplay(*replay)
+		return runReplay(*replay, *capture)
+	}
+	if *capture != "" {
+		return fmt.Errorf("-capture requires -replay with a pair combo key")
 	}
 
 	size, err := fuzzgen.SizeByName(*sizeName)
@@ -155,7 +163,7 @@ func run() error {
 
 	if *tracePth != "" {
 		data := strings.Join(trace, "\n") + "\n"
-		if err := os.WriteFile(*tracePth, []byte(data), 0o644); err != nil {
+		if err := atomicio.WriteFile(*tracePth, []byte(data), 0o644); err != nil {
 			return err
 		}
 	}
@@ -170,13 +178,21 @@ func run() error {
 	return nil
 }
 
-func runReplay(key string) error {
+func runReplay(key, capture string) error {
+	kind, kerr := simtest.ClassifyReplayKey(key)
+	if kerr != nil {
+		return kerr
+	}
+	if capture != "" && kind != simtest.ReplayPair {
+		return fmt.Errorf("-capture only applies to pair combos, not %s keys", kind)
+	}
 	var (
 		line, detail string
 		err          error
 		ref, console []string
 	)
-	if simtest.IsFleetKey(key) {
+	switch kind {
+	case simtest.ReplayFleet:
 		cb, perr := simtest.ParseFleetCombo(key)
 		if perr != nil {
 			return perr
@@ -190,26 +206,26 @@ func runReplay(key string) error {
 			return fmt.Errorf("invariant failure: %s", out.Detail)
 		}
 		return nil
-	}
-	if simtest.IsConsensusKey(key) {
+	case simtest.ReplayConsensus:
 		cb, perr := simtest.ParseConsensusCombo(key)
 		if perr != nil {
 			return perr
 		}
 		out := simtest.RunConsensusCombo(cb, nil, nil)
 		line, detail, err, ref, console = out.TraceLine(), out.Detail, out.Err, out.Ref, out.Console
-	} else if simtest.IsViewKey(key) {
+	case simtest.ReplayView:
 		cb, perr := simtest.ParseViewCombo(key)
 		if perr != nil {
 			return perr
 		}
 		out := simtest.RunViewCombo(cb, nil, nil)
 		line, detail, err, ref, console = out.TraceLine(), out.Detail, out.Err, out.Ref, out.Console
-	} else {
+	default:
 		cb, perr := simtest.ParseCombo(key)
 		if perr != nil {
 			return perr
 		}
+		cb.Capture = capture
 		out := simtest.RunCombo(cb, nil, nil)
 		line, detail, err, ref, console = out.TraceLine(), out.Detail, out.Err, out.Ref, out.Console
 	}

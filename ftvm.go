@@ -172,6 +172,12 @@ type Options struct {
 	// simulated run; such callers must invoke the run functions from a
 	// clock-attached goroutine.
 	Clock clock.Clock
+	// CaptureLog, when set, writes the replicated run's event log to this
+	// path as an .ftlog capture once the backup (or consensus log) has the
+	// full record stream. The capture embeds the program, the seeds and the
+	// replay policy parameters, so ftvm-debug can replay it to any position
+	// without the original command line.
+	CaptureLog string
 }
 
 func (o *Options) fill() {
@@ -379,6 +385,11 @@ func runReplicated(prog *Program, mode Mode, opts Options, trigger KillTrigger) 
 		Backup:  backup.Stats(),
 		Outcome: outcome,
 		Killed:  machine.Killed(),
+	}
+	if opts.CaptureLog != "" {
+		if cerr := writeCapture(opts.CaptureLog, prog, mode, opts, backup.Store().Records()); cerr != nil {
+			return res, fmt.Errorf("capture log: %w", cerr)
+		}
 	}
 	if serveErr != nil {
 		return res, fmt.Errorf("backup serve: %w", serveErr)
@@ -648,6 +659,11 @@ func runConsensus(prog *Program, mode Mode, opts Options, trigger KillTrigger) (
 		return res, nil, fmt.Errorf("consensus log: %w", err)
 	}
 	res.Backup = replication.BackupStats{RecordsLogged: uint64(len(recs))}
+	if opts.CaptureLog != "" {
+		if cerr := writeCapture(opts.CaptureLog, prog, mode, opts, recs); cerr != nil {
+			return res, recs, fmt.Errorf("capture log: %w", cerr)
+		}
+	}
 	halted := false
 	for _, r := range recs {
 		if _, ok := r.(*wire.Halt); ok {
@@ -736,6 +752,23 @@ func measureConsensusReplay(prog *Program, mode Mode, opts Options, envFactory f
 		return res, replay, fmt.Errorf("replay: %w", err)
 	}
 	return res, replay, nil
+}
+
+// writeCapture writes an .ftlog capture of a replicated run. The header's
+// policy seed is the recovery policy seed (the fold the backup's replay
+// uses), so a debugger opening the capture replays with exactly the
+// scheduling the recovered backup would have used.
+func writeCapture(path string, prog *Program, mode Mode, opts Options, records []wire.Record) error {
+	return replication.WriteLogFile(path, replication.LogHeader{
+		EnvSeed:         opts.EnvSeed,
+		PolicySeed:      opts.PolicySeed ^ 0x5DEECE66D,
+		MinQuantum:      opts.MinQuantum,
+		MaxQuantum:      opts.MaxQuantum,
+		Mode:            mode,
+		Dispatch:        opts.Dispatch,
+		MaxInstructions: opts.MaxInstructions,
+		GCThreshold:     int64(opts.GCThreshold),
+	}, prog, records)
 }
 
 // Natives returns the standard native registry (for inspection/extension).

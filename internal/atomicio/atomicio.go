@@ -1,0 +1,45 @@
+// Package atomicio provides crash-safe file writes. A bare os.WriteFile
+// that is interrupted (process kill, disk full) can leave a truncated file
+// behind under the final name — for bench JSON, sweep traces, and captured
+// .ftlog event logs that truncation is indistinguishable from a complete
+// artifact until something tries to parse it. WriteFile instead writes to a
+// temporary file in the destination directory and renames it into place;
+// rename within a directory is atomic on POSIX, so a reader observes either
+// the old contents or the complete new contents, never a prefix.
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory (rename does not cross filesystems) and is
+// removed on any failure.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, err = tmp.Write(data)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		// CreateTemp uses 0600; apply the caller's requested mode.
+		err = os.Chmod(tmpName, perm)
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.json")
+
+	if err := WriteFile(p, []byte("first"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	if err := WriteFile(p, []byte("second"), 0o644); err != nil {
+		t.Fatalf("WriteFile replace: %v", err)
+	}
+	got, _ = os.ReadFile(p)
+	if string(got) != "second" {
+		t.Fatalf("after replace got %q", got)
+	}
+
+	// No temp files left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.json" {
+		t.Fatalf("directory not clean: %v", ents)
+	}
+}
+
+func TestWriteFileFailureLeavesOldContents(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "sub", "out.json")
+	// Parent directory missing: CreateTemp fails, nothing is created.
+	if err := WriteFile(p, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error writing into missing directory")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("file should not exist, stat err=%v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package debug
+
+import "fmt"
+
+// DiffReport locates the first divergence between two captures.
+type DiffReport struct {
+	// Diverged is false when the two replays agree at every common position.
+	Diverged bool
+	// Pos is the first global branch position whose inspection states
+	// differ (valid when Diverged).
+	Pos uint64
+	// A and B are the differing renderings at Pos (valid when Diverged).
+	A, B string
+	// FinalA and FinalB are the two replays' final positions.
+	FinalA, FinalB uint64
+}
+
+// Diff binary-searches two sessions for the first position at which their
+// machine states differ. It assumes divergence is persistent — once the two
+// executions differ they never re-converge, which holds for any state
+// difference that includes a diverging event (the paper's determinism
+// argument run in reverse) — so checksum inequality at k implies inequality
+// at every position ≥ k and the first diverging position is the binary
+// search's boundary.
+func Diff(a, b *Session) (*DiffReport, error) {
+	if err := a.RunToEnd(); err != nil {
+		return nil, fmt.Errorf("log A: %w", err)
+	}
+	if err := b.RunToEnd(); err != nil {
+		return nil, fmt.Errorf("log B: %w", err)
+	}
+	finalA, _, _ := a.Final()
+	finalB, _, _ := b.Final()
+	rep := &DiffReport{FinalA: finalA, FinalB: finalB}
+
+	hi := finalA
+	if finalB < hi {
+		hi = finalB
+	}
+	same := func(pos uint64) (bool, error) {
+		if err := a.Goto(pos); err != nil {
+			return false, fmt.Errorf("log A position %d: %w", pos, err)
+		}
+		if err := b.Goto(pos); err != nil {
+			return false, fmt.Errorf("log B position %d: %w", pos, err)
+		}
+		return a.Inspect().Checksum == b.Inspect().Checksum, nil
+	}
+
+	if ok, err := same(hi); err != nil {
+		return nil, err
+	} else if ok {
+		// Identical over the whole common prefix; diverged only if one log
+		// kept going past the other's end.
+		rep.Diverged = finalA != finalB
+		rep.Pos = hi
+		return rep, nil
+	}
+
+	// Invariant: same at lo, different at hi.
+	var lo uint64
+	if ok, err := same(0); err != nil {
+		return nil, err
+	} else if !ok {
+		rep.Diverged = true
+		rep.Pos = 0
+	} else {
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			ok, err := same(mid)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		rep.Diverged = true
+		rep.Pos = hi
+	}
+
+	if err := a.Goto(rep.Pos); err != nil {
+		return nil, err
+	}
+	if err := b.Goto(rep.Pos); err != nil {
+		return nil, err
+	}
+	rep.A = a.Inspect().Text
+	rep.B = b.Inspect().Text
+	return rep, nil
+}

@@ -1,0 +1,70 @@
+package env
+
+// Cloning support for the debugger's checkpoint cache: a snapshot of a
+// paused replay must include the environment (stable files, device stream
+// positions, exactly-once sequence tables), because resuming the clone will
+// keep reading and writing it. Clones share nothing with the original.
+
+// Clone returns a deep copy of the environment.
+func (e *Env) Clone() *Env {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := &Env{
+		files:   make(map[string]*storedFile, len(e.files)),
+		console: e.console.clone(),
+		msgs:    e.msgs.clone(),
+		clock:   e.clock.clone(),
+		entropy: e.entropy.clone(),
+	}
+	for n, f := range e.files {
+		d := make([]byte, len(f.data))
+		copy(d, f.data)
+		c.files[n] = &storedFile{data: d}
+	}
+	return c
+}
+
+// CloneInto returns a copy of the process (descriptor table and next-fd
+// counter) attached to env — the cloned environment the snapshot carries.
+func (p *Process) CloneInto(env *Env) *Process {
+	c := &Process{env: env, fds: make(map[int64]*openFile, len(p.fds)), nextFD: p.nextFD}
+	for fd, of := range p.fds {
+		c.fds[fd] = &openFile{name: of.name, offset: of.offset}
+	}
+	return c
+}
+
+func (d *SeqDevice) clone() *SeqDevice {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := &SeqDevice{lastSeq: make(map[string]uint64, len(d.lastSeq))}
+	for w, s := range d.lastSeq {
+		c.lastSeq[w] = s
+	}
+	c.lines = append([]string(nil), d.lines...)
+	return c
+}
+
+func (ch *SeqChannel) clone() *SeqChannel {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	c := &SeqChannel{lastSeq: make(map[string]uint64, len(ch.lastSeq))}
+	for w, s := range ch.lastSeq {
+		c.lastSeq[w] = s
+	}
+	c.queue = append([]string(nil), ch.queue...)
+	c.sent = append([]string(nil), ch.sent...)
+	return c
+}
+
+func (c *Clock) clone() *Clock {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Clock{now: c.now, seed: c.seed, rng: &splitMix{state: c.rng.state}}
+}
+
+func (e *Entropy) clone() *Entropy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Entropy{seed: e.seed, rng: &splitMix{state: e.rng.state}}
+}

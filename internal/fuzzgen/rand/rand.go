@@ -48,3 +48,8 @@ func (r *RNG) Chance(num, den int) bool { return r.Intn(den) < num }
 // output. Forked streams let one seed drive several consumers without their
 // draw counts interfering.
 func (r *RNG) Fork() *RNG { return New(r.Next()) }
+
+// Clone returns a generator at the same stream position: both produce the
+// identical future sequence. Used by checkpoint snapshots, which must
+// preserve every PRNG's position so a resumed copy replays byte-identically.
+func (r *RNG) Clone() *RNG { return &RNG{state: r.state} }

@@ -1,0 +1,52 @@
+package sehandler
+
+import "fmt"
+
+// Cloner is implemented by handlers whose accumulated receive-state can be
+// snapshotted. The debugger's checkpoint cache clones a paused replay —
+// including its handler set, because handlers hold mutable recovery state
+// (descriptor tables, device draw counters) that the resumed copy keeps
+// mutating. A clone must behave identically to the original from the
+// snapshot point on; it must NOT be Restored again (restore runs exactly
+// once per replay, and the clone inherits the already-restored state).
+type Cloner interface {
+	CloneHandler() Handler
+}
+
+// CloneHandler implements Cloner: a deep copy of the descriptor table. The
+// clone's process binding is cleared — the caller rebinds it (Bind) to the
+// cloned process, against which the materialised realFD values remain valid
+// because the process clone preserves its descriptor table verbatim.
+func (h *FileHandler) CloneHandler() Handler {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := &FileHandler{fds: make(map[int64]*fdState, len(h.fds)), maxFD: h.maxFD}
+	for fd, st := range h.fds {
+		cp := *st
+		c.fds[fd] = &cp
+	}
+	return c
+}
+
+// CloneHandler implements Cloner: the channel handler holds no state.
+func (h *ChannelHandler) CloneHandler() Handler { return NewChannelHandler() }
+
+// CloneHandler implements Cloner: copy the per-device draw counters.
+func (h *DevicesHandler) CloneHandler() Handler {
+	return &DevicesHandler{rands: h.rands, clocks: h.clocks}
+}
+
+// Clone deep-copies the set. It fails if any handler does not support
+// cloning, so a checkpoint can never silently share mutable handler state.
+func (s *Set) Clone() (*Set, error) {
+	out := &Set{handlers: make(map[string]Handler, len(s.handlers))}
+	for _, name := range s.order {
+		c, ok := s.handlers[name].(Cloner)
+		if !ok {
+			return nil, fmt.Errorf("side-effect handler %q is not cloneable", name)
+		}
+		out.handlers[name] = c.CloneHandler()
+		out.order = append(out.order, name)
+	}
+	return out, nil
+}

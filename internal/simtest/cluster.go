@@ -81,6 +81,13 @@ type ClusterConfig struct {
 	// WallLimit is the real-time watchdog on the whole simulation
 	// (default 30s): a scheduling bug panics instead of hanging the sweep.
 	WallLimit time.Duration
+
+	// Capture, when non-empty, writes the backup's replication log as a
+	// durable .ftlog file (see replication.EncodeLog) after the schedule
+	// plays out, seeded with the recovery-policy parameters so ftvm-debug
+	// replays the exact execution the backup would reconstruct. Not part of
+	// the combo key: it changes what is written to disk, never the run.
+	Capture string
 }
 
 func (c *ClusterConfig) fill() error {
@@ -266,6 +273,20 @@ func runCluster(clk *clock.Virtual, cfg *ClusterConfig) (*ClusterResult, error) 
 		PrimaryErr:    runErr,
 		backup:        backup,
 		environ:       environ,
+	}
+	if cfg.Capture != "" {
+		err := replication.WriteLogFile(cfg.Capture, replication.LogHeader{
+			EnvSeed:         cfg.EnvSeed,
+			PolicySeed:      cfg.RecoverSeed,
+			MinQuantum:      cfg.RecoverMinQ,
+			MaxQuantum:      cfg.RecoverMaxQ,
+			Mode:            cfg.Mode,
+			Dispatch:        cfg.Dispatch,
+			MaxInstructions: cfg.MaxInstructions,
+		}, cfg.Program, backup.Store().Records())
+		if err != nil {
+			return res, fmt.Errorf("capture log: %w", err)
+		}
 	}
 	if serveErr != nil {
 		return res, fmt.Errorf("backup serve: %w", serveErr)

@@ -58,10 +58,12 @@ func (cb ConsensusCombo) Key() string {
 		cb.FaultKind, cb.FaultAt, cb.ESeed, cb.NetSeed, cb.ReorderNum, cb.ReorderDen)
 }
 
-// IsConsensusKey reports whether a replay string denotes a consensus combo
-// (ParseConsensusCombo) rather than a pair, view, or fleet combo.
+// IsConsensusKey reports whether a replay string denotes a well-formed
+// consensus combo (ParseConsensusCombo) rather than a pair, view, or fleet
+// combo.
 func IsConsensusKey(key string) bool {
-	return strings.Contains(key, "who=")
+	k, err := ClassifyReplayKey(key)
+	return err == nil && k == ReplayConsensus
 }
 
 // ParseConsensusCombo parses a Key()-formatted replay string.

@@ -54,11 +54,11 @@ func (cb FleetCombo) Key() string {
 		cb.Fault, cb.FaultEvery, b2i(cb.InjectStale))
 }
 
-// IsFleetKey reports whether a replay string denotes a fleet combo
-// (ParseFleetCombo) rather than a pair or view-cluster combo. Check it before
-// IsViewKey: fleet keys are the only ones carrying a client population.
+// IsFleetKey reports whether a replay string denotes a well-formed fleet
+// combo (ParseFleetCombo) rather than a pair or view-cluster combo.
 func IsFleetKey(key string) bool {
-	return strings.Contains(key, "clients=")
+	k, err := ClassifyReplayKey(key)
+	return err == nil && k == ReplayFleet
 }
 
 // ParseFleetCombo parses a Key()-formatted replay string.

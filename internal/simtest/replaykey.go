@@ -1,0 +1,124 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReplayKind identifies which harness a replay key string drives.
+type ReplayKind int
+
+const (
+	// ReplayPair is a primary/backup pair combo (ParseCombo).
+	ReplayPair ReplayKind = iota
+	// ReplayView is a three-node view-change combo (ParseViewCombo).
+	ReplayView
+	// ReplayFleet is a sharded-fleet combo (ParseFleetCombo).
+	ReplayFleet
+	// ReplayConsensus is a consensus-backend combo (ParseConsensusCombo).
+	ReplayConsensus
+)
+
+// String implements fmt.Stringer.
+func (k ReplayKind) String() string {
+	switch k {
+	case ReplayPair:
+		return "pair"
+	case ReplayView:
+		return "view"
+	case ReplayFleet:
+		return "fleet"
+	case ReplayConsensus:
+		return "consensus"
+	}
+	return fmt.Sprintf("ReplayKind(%d)", int(k))
+}
+
+// replayDiscriminators are the fields that appear in exactly one kind's key
+// format: their presence decides the kind. Pair keys have no discriminator —
+// they are the default once every field checks out.
+var replayDiscriminators = map[string]ReplayKind{
+	"kill1":   ReplayView,
+	"clients": ReplayFleet,
+	"who":     ReplayConsensus,
+}
+
+// replayFields is, per kind, the complete field set its parser accepts.
+// Kept in sync with ParseCombo / ParseViewCombo / ParseFleetCombo /
+// ParseConsensusCombo — TestClassifyAcceptsEveryParsedKey round-trips every
+// historical replay key through both.
+var replayFields = map[ReplayKind]map[string]bool{
+	ReplayPair: {
+		"prog": true, "size": true, "mode": true, "kill": true, "deliver": true,
+		"fault": true, "net": true, "dispatch": true, "reorder": true,
+	},
+	ReplayView: {
+		"prog": true, "size": true, "mode": true, "kill1": true, "d1": true,
+		"kill2": true, "d2": true, "fault": true, "inject": true, "net": true,
+		"reorder": true,
+	},
+	ReplayFleet: {
+		"seed": true, "nodes": true, "shards": true, "clients": true, "ops": true,
+		"ka": true, "kb": true, "fault": true, "inject": true,
+	},
+	ReplayConsensus: {
+		"prog": true, "size": true, "mode": true, "who": true, "kill": true,
+		"deliver": true, "part": true, "inject": true, "fault": true,
+		"eseed": true, "net": true, "reorder": true,
+	},
+}
+
+// ClassifyReplayKey decides which harness a replay key belongs to by parsing
+// its field structure, replacing the historical substring sniffing (which
+// classified by `strings.Contains(key, "kill1=")` and so mis-filed any key
+// whose VALUE happened to contain a discriminator, silently dispatched
+// malformed keys to the pair parser, and could not report ambiguity).
+//
+// The rules are strict: every comma-separated part must be key=value; a key
+// may contain at most one kind-discriminating field (kill1/clients/who);
+// every field must belong to the decided kind's accepted set. Anything else
+// is an error naming the offending field, so a typo fails here with a
+// classification error instead of deep inside the wrong parser.
+func ClassifyReplayKey(key string) (ReplayKind, error) {
+	if strings.TrimSpace(key) == "" {
+		return 0, fmt.Errorf("empty replay key")
+	}
+	var fields []string
+	for _, part := range strings.Split(key, ",") {
+		name, _, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return 0, fmt.Errorf("replay key field %q is not key=value", part)
+		}
+		fields = append(fields, name)
+	}
+
+	kind := ReplayPair
+	var seen []string
+	for _, f := range fields {
+		if k, ok := replayDiscriminators[f]; ok {
+			seen = append(seen, f)
+			kind = k
+		}
+	}
+	if len(seen) > 1 {
+		return 0, fmt.Errorf("replay key is ambiguous: fields %s name different harnesses", strings.Join(seen, " and "))
+	}
+
+	for _, f := range fields {
+		if !replayFields[kind][f] {
+			return 0, fmt.Errorf("replay key field %q is not a %s-combo field (accepts %s)",
+				f, kind, strings.Join(sortedFields(kind), " "))
+		}
+	}
+	return kind, nil
+}
+
+func sortedFields(kind ReplayKind) []string {
+	out := make([]string, 0, len(replayFields[kind]))
+	for f := range replayFields[kind] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,116 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClassifyHistoricalReplayKeys runs the classifier over every key in all
+// four regression seed tables: each must classify cleanly as its own kind
+// and parse with the matching parser — the classifier can never strand a
+// historical replay string.
+func TestClassifyHistoricalReplayKeys(t *testing.T) {
+	check := func(t *testing.T, key string, want ReplayKind) {
+		t.Helper()
+		got, err := ClassifyReplayKey(key)
+		if err != nil {
+			t.Fatalf("ClassifyReplayKey(%q): %v", key, err)
+		}
+		if got != want {
+			t.Fatalf("ClassifyReplayKey(%q) = %v, want %v", key, got, want)
+		}
+		switch want {
+		case ReplayPair:
+			if _, err := ParseCombo(key); err != nil {
+				t.Fatalf("ParseCombo(%q): %v", key, err)
+			}
+		case ReplayView:
+			if _, err := ParseViewCombo(key); err != nil {
+				t.Fatalf("ParseViewCombo(%q): %v", key, err)
+			}
+		case ReplayFleet:
+			if _, err := ParseFleetCombo(key); err != nil {
+				t.Fatalf("ParseFleetCombo(%q): %v", key, err)
+			}
+		case ReplayConsensus:
+			if _, err := ParseConsensusCombo(key); err != nil {
+				t.Fatalf("ParseConsensusCombo(%q): %v", key, err)
+			}
+		}
+	}
+	for _, rs := range replaySeeds {
+		t.Run("pair/"+rs.class, func(t *testing.T) { check(t, rs.key, ReplayPair) })
+	}
+	for _, rs := range viewReplaySeeds {
+		t.Run("view/"+rs.class, func(t *testing.T) { check(t, rs.key, ReplayView) })
+	}
+	for _, rs := range fleetReplaySeeds {
+		t.Run("fleet/"+rs.class, func(t *testing.T) { check(t, rs.key, ReplayFleet) })
+	}
+	for _, rs := range consensusReplaySeeds {
+		t.Run("consensus/"+rs.class, func(t *testing.T) { check(t, rs.key, ReplayConsensus) })
+	}
+}
+
+// TestClassifyRoundTripsComboKeys classifies freshly-rendered Key() strings.
+func TestClassifyRoundTripsComboKeys(t *testing.T) {
+	keys := map[string]ReplayKind{
+		Combo{ProgSeed: 7, NetSeed: 3, ReorderDen: 8}.Key():                      ReplayPair,
+		ViewCombo{ProgSeed: 7, NetSeed: 3, ReorderDen: 8}.Key():                  ReplayView,
+		FleetCombo{Seed: 7, Nodes: 4, Shards: 8, Clients: 100, Ops: 3}.Key():     ReplayFleet,
+		ConsensusCombo{ProgSeed: 7, NetSeed: 3, ReorderDen: 8, ESeed: 1}.Key():   ReplayConsensus,
+		ConsensusCombo{ProgSeed: 7, KillLeader: true, ReorderDen: 8}.Key():       ReplayConsensus,
+		Combo{ProgSeed: 9, Dispatch: 1, NetSeed: 1, ReorderNum: 1, ReorderDen: 8}.Key(): ReplayPair,
+	}
+	for key, want := range keys {
+		got, err := ClassifyReplayKey(key)
+		if err != nil {
+			t.Errorf("ClassifyReplayKey(%q): %v", key, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ClassifyReplayKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// TestClassifyRejects covers the failure modes the substring sniffing let
+// through: unknown fields, fields from the wrong kind, ambiguous keys,
+// malformed parts, and discriminator names hiding inside values.
+func TestClassifyRejects(t *testing.T) {
+	cases := []struct {
+		name, key, wantErr string
+	}{
+		{"empty", "", "empty replay key"},
+		{"not key=value", "prog=1,size", "is not key=value"},
+		{"unknown field", "prog=1,size=small,mode=lock,bogus=3", `"bogus" is not a pair-combo field`},
+		{"typoed discriminator", "prog=1,size=small,mode=lock,kil1=4", `"kil1" is not a pair-combo field`},
+		{"view field without discriminator", "prog=1,size=small,mode=lock,d1=0", `"d1" is not a pair-combo field`},
+		{"pair field in fleet key", "seed=3,clients=10,net=4", `"net" is not a fleet-combo field`},
+		{"ambiguous view+fleet", "kill1=4,clients=10", "ambiguous"},
+		{"ambiguous view+consensus", "prog=1,kill1=4,who=leader", "ambiguous"},
+		{"inject on pair", "prog=1,size=small,mode=lock,inject=1", `"inject" is not a pair-combo field`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ClassifyReplayKey(tc.key)
+			if err == nil {
+				t.Fatalf("ClassifyReplayKey(%q) accepted, want error containing %q", tc.key, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ClassifyReplayKey(%q) error %q does not contain %q", tc.key, err, tc.wantErr)
+			}
+		})
+	}
+
+	// A discriminator name inside a VALUE must not decide the kind — the
+	// historical Contains(key, "kill1=") sniffing mis-filed such keys.
+	key := `seed=3,nodes=4,shards=8,clients=10,ops=3,ka=1@250,kb=0@0,fault=kill1/13,inject=0`
+	got, err := ClassifyReplayKey(key)
+	if err != nil || got != ReplayFleet {
+		t.Fatalf("ClassifyReplayKey(value containing kill1) = %v, %v; want fleet", got, err)
+	}
+	if IsViewKey(key) {
+		t.Fatal("IsViewKey matched a fleet key whose fault value contains 'kill1'")
+	}
+}

@@ -35,6 +35,10 @@ type Combo struct {
 	// recovery VM (default threaded). The epoch-edge regression entries pin
 	// both engines against the same fault schedules.
 	Dispatch ftvm.Dispatch
+	// Capture, when non-empty, writes the backup's replication log to this
+	// path as a .ftlog for ftvm-debug. Not part of the replay key: it never
+	// changes the schedule, only what is written to disk afterwards.
+	Capture string
 }
 
 // Key renders the combo as its canonical replay string.
@@ -154,6 +158,7 @@ func (cb Combo) clusterConfig(prog *ftvm.Program) ClusterConfig {
 		KillAtSend:  cb.KillAtSend,
 		KillDeliver: cb.KillDeliver,
 		Dispatch:    cb.Dispatch,
+		Capture:     cb.Capture,
 	}
 }
 

@@ -52,10 +52,11 @@ func (cb ViewCombo) Key() string {
 		cb.NetSeed, cb.ReorderNum, cb.ReorderDen)
 }
 
-// IsViewKey reports whether a replay string denotes a view-cluster combo
-// (ParseViewCombo) rather than a pair combo (ParseCombo).
+// IsViewKey reports whether a replay string denotes a well-formed
+// view-cluster combo (ParseViewCombo) rather than a pair combo (ParseCombo).
 func IsViewKey(key string) bool {
-	return strings.Contains(key, "kill1=")
+	k, err := ClassifyReplayKey(key)
+	return err == nil && k == ReplayView
 }
 
 // ParseViewCombo parses a Key()-formatted replay string.

@@ -183,6 +183,24 @@ func (p *SeededPolicy) Quantum() uint64 {
 	return p.MinQ + p.rng.Next()%span
 }
 
+// PolicyCloner is implemented by scheduling policies that can produce an
+// independent copy whose future decision sequence is identical. Checkpoint
+// snapshots (the time-travel debugger) require it: a resumed copy must draw
+// the same thread picks and quanta the original would have.
+type PolicyCloner interface {
+	ClonePolicy() SchedPolicy
+}
+
+// ClonePolicy implements PolicyCloner (a round-robin policy is stateless
+// apart from its configuration).
+func (p *RoundRobinPolicy) ClonePolicy() SchedPolicy { return &RoundRobinPolicy{Q: p.Q} }
+
+// ClonePolicy implements PolicyCloner: the copy's PRNG sits at the same
+// stream position.
+func (p *SeededPolicy) ClonePolicy() SchedPolicy {
+	return &SeededPolicy{rng: p.rng.Clone(), MinQ: p.MinQ, MaxQ: p.MaxQ}
+}
+
 // DefaultCoordinator runs the VM standalone (no replication): scheduling
 // comes from a policy, every acquisition is granted immediately, lock ids
 // are a counter, and natives are invoked directly.

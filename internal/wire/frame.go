@@ -59,24 +59,45 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	return f, nil
 }
 
+// ErrShortFrame reports that the input ends before a complete frame: what is
+// there is a prefix of a (possibly) valid frame, and a streaming reader that
+// can obtain more bytes should, rather than declaring the stream corrupt. It
+// wraps ErrBadRecord, so callers that treat every decode failure as
+// corruption — a transport message is always a complete frame — keep their
+// behaviour; readers over a byte stream with no message boundaries (the
+// .ftlog capture reader) distinguish the two with errors.Is.
+var ErrShortFrame = fmt.Errorf("%w: short frame", ErrBadRecord)
+
 // DecodeFramePrefix parses one frame from the front of b and returns the
 // remaining bytes, so a message carrying several concatenated frames — the
 // consensus backend's AppendEntries batches, where each replicated log entry
 // is a Frame (Seq = log index, Epoch = term) — decodes sequentially. The
 // strict single-frame DecodeFrame is this plus an empty-rest check.
+//
+// Errors distinguish truncation from corruption: an input that is a proper
+// prefix of a frame (varint cut mid-value, missing flags byte, payload
+// shorter than its declared length) fails with ErrShortFrame; an input that
+// can never decode no matter how many bytes follow (an overlong varint, an
+// out-of-range flags byte) fails with plain ErrBadRecord.
 func DecodeFramePrefix(b []byte) (*Frame, []byte, error) {
 	seq, n := binary.Uvarint(b)
-	if n <= 0 {
-		return nil, nil, fmt.Errorf("%w: truncated frame seq", ErrBadRecord)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("%w: frame seq cut short", ErrShortFrame)
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("%w: overlong frame seq varint", ErrBadRecord)
 	}
 	b = b[n:]
 	epoch, n := binary.Uvarint(b)
-	if n <= 0 {
-		return nil, nil, fmt.Errorf("%w: truncated frame epoch", ErrBadRecord)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("%w: frame epoch cut short", ErrShortFrame)
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("%w: overlong frame epoch varint", ErrBadRecord)
 	}
 	b = b[n:]
 	if len(b) < 1 {
-		return nil, nil, fmt.Errorf("%w: truncated frame flags", ErrBadRecord)
+		return nil, nil, fmt.Errorf("%w: missing frame flags", ErrShortFrame)
 	}
 	if b[0] > 1 {
 		return nil, nil, fmt.Errorf("%w: bad frame flags %#x", ErrBadRecord, b[0])
@@ -84,12 +105,15 @@ func DecodeFramePrefix(b []byte) (*Frame, []byte, error) {
 	ackWanted := b[0] == 1
 	b = b[1:]
 	plen, n := binary.Uvarint(b)
-	if n <= 0 {
-		return nil, nil, fmt.Errorf("%w: truncated frame length", ErrBadRecord)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("%w: frame length cut short", ErrShortFrame)
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("%w: overlong frame length varint", ErrBadRecord)
 	}
 	b = b[n:]
 	if uint64(len(b)) < plen {
-		return nil, nil, fmt.Errorf("%w: short frame payload (%d < %d)", ErrBadRecord, len(b), plen)
+		return nil, nil, fmt.Errorf("%w: frame payload %d of %d bytes", ErrShortFrame, len(b), plen)
 	}
 	payload := make([]byte, plen)
 	copy(payload, b[:plen])

@@ -24,6 +24,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(append(EncodeFrame(&Frame{Seq: 3}), 0xAA))        // trailing garbage
 	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}) // unterminated varint
 	f.Add([]byte{0x01, 0x01, 0x07, 0x00})                   // bad flags byte
+	f.Add(EncodeFrame(&Frame{Seq: 5, Epoch: 2}))            // zero-length payload
+	f.Add([]byte{0x01, 0x00, 0x00, 0x03})                   // cut exactly at header boundary
+	f.Add(bytes.Repeat([]byte{0xFF}, 11))                   // overlong (not short) varint
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := DecodeFrame(data)
 		if err != nil {
@@ -87,6 +90,8 @@ func FuzzDecodeAll(f *testing.F) {
 	f.Add(append([]byte(nil), buf.Bytes()...))
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x01, 0x02})
+	f.Add(append([]byte(nil), buf.Bytes()[:buf.Len()-1]...))              // trailing partial record
+	f.Add(append([]byte{byte(RecIDMap)}, bytes.Repeat([]byte{0xFF}, 11)...)) // overlong varint field
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := DecodeAll(data)
 		if err != nil {

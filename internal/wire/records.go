@@ -201,6 +201,14 @@ func (*Halt) Type() RecType { return RecHalt }
 // ErrBadRecord is wrapped by all decoding failures.
 var ErrBadRecord = errors.New("bad wire record")
 
+// ErrTruncated is the record-stream analogue of ErrShortFrame: the input
+// ended in the middle of a record, so what is there is a prefix of a valid
+// stream rather than bytes that can never decode. It wraps ErrBadRecord (a
+// transport payload is always a complete batch, so existing callers treat it
+// as corruption); readers that may see a partial tail — a capture file cut
+// off by a crash — distinguish it with errors.Is.
+var ErrTruncated = fmt.Errorf("%w: truncated record", ErrBadRecord)
+
 // Buffer accumulates encoded records.
 type Buffer struct {
 	b   []byte
@@ -315,12 +323,20 @@ func (d *Decoder) fail(msg string) {
 	}
 }
 
+// failShort records a truncation: the input is a proper prefix of a valid
+// record stream, distinguished from corruption for streaming readers.
+func (d *Decoder) failShort(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrTruncated, msg, d.pos)
+	}
+}
+
 func (d *Decoder) u8() uint8 {
 	if d.err != nil {
 		return 0
 	}
 	if d.pos >= len(d.b) {
-		d.fail("truncated byte")
+		d.failShort("byte cut short")
 		return 0
 	}
 	v := d.b[d.pos]
@@ -333,8 +349,12 @@ func (d *Decoder) uv() uint64 {
 		return 0
 	}
 	v, n := binary.Uvarint(d.b[d.pos:])
-	if n <= 0 {
-		d.fail("truncated uvarint")
+	if n == 0 {
+		d.failShort("uvarint cut short")
+		return 0
+	}
+	if n < 0 {
+		d.fail("overlong uvarint")
 		return 0
 	}
 	d.pos += n
@@ -346,8 +366,12 @@ func (d *Decoder) sv() int64 {
 		return 0
 	}
 	v, n := binary.Varint(d.b[d.pos:])
-	if n <= 0 {
-		d.fail("truncated varint")
+	if n == 0 {
+		d.failShort("varint cut short")
+		return 0
+	}
+	if n < 0 {
+		d.fail("overlong varint")
 		return 0
 	}
 	d.pos += n
@@ -360,7 +384,7 @@ func (d *Decoder) str() string {
 		return ""
 	}
 	if uint64(len(d.b)-d.pos) < n {
-		d.fail("truncated string")
+		d.failShort("string cut short")
 		return ""
 	}
 	s := string(d.b[d.pos : d.pos+int(n)])
@@ -374,7 +398,7 @@ func (d *Decoder) bytes() []byte {
 		return nil
 	}
 	if uint64(len(d.b)-d.pos) < n {
-		d.fail("truncated bytes")
+		d.failShort("bytes cut short")
 		return nil
 	}
 	out := make([]byte, n)

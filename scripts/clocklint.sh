@@ -30,7 +30,7 @@ files=$(find . -name '*.go' \
 # leader heartbeats) are exactly where a naked wall-clock call would break
 # determinism — if a future exemption swallowed them, this lint would pass
 # vacuously.
-for must in ./internal/replication ./internal/viewsvc ./internal/consensus; do
+for must in ./internal/replication ./internal/viewsvc ./internal/consensus ./internal/debug; do
     case "$files" in
         *"$must/"*) ;;
         *) echo "clock-lint: $must is missing from the scan set" >&2; exit 1 ;;
